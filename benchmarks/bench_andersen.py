@@ -1,0 +1,45 @@
+"""Auxiliary-analysis bench: Andersen's solver and its cycle-collapsing
+ablation (the optimisation DESIGN.md calls out for the substrate).
+
+Shape: results are identical with and without SCC collapsing; collapsing
+never loses precision and pays off as copy-edge cycles appear.
+"""
+
+import pytest
+
+from repro.analysis.andersen import AndersenAnalysis
+from repro.bench.workloads import suite_program
+
+PROGRAMS = ["du", "nano", "mruby"]
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def bench_andersen_with_scc(benchmark, name):
+    module = suite_program(name)
+
+    result = benchmark.pedantic(
+        lambda: AndersenAnalysis(module, collapse_cycles=True).run(),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        bench=name,
+        collapsed_nodes=result.stats.collapsed_nodes,
+        copy_edges=result.stats.copy_edges,
+        processed=result.stats.processed_nodes,
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def bench_andersen_without_scc(benchmark, name):
+    module = suite_program(name)
+
+    plain = benchmark.pedantic(
+        lambda: AndersenAnalysis(module, collapse_cycles=False).run(),
+        rounds=1,
+        iterations=1,
+    )
+    collapsed = AndersenAnalysis(module, collapse_cycles=True).run()
+    for var in module.variables:
+        assert plain.pts_mask(var) == collapsed.pts_mask(var), repr(var)
+    benchmark.extra_info.update(bench=name, processed=plain.stats.processed_nodes)

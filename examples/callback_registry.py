@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Event-handler registry: on-the-fly call graph resolution in action.
+
+An event loop dispatches through a table of function pointers.  The
+auxiliary (Andersen) analysis believes every registered handler can run at
+every dispatch site; the flow-sensitive analyses resolve the call graph on
+the fly from flow-sensitive points-to sets.  This example also shows the δ
+nodes (Definition 3) that make on-the-fly resolution sound under object
+versioning.
+
+Run:  python examples/callback_registry.py
+"""
+
+from repro import AnalysisPipeline, compile_c
+from repro.analysis.andersen import run_andersen
+
+SOURCE = r"""
+struct event { int kind; struct event *next; };
+
+fnptr on_open;
+fnptr on_close;
+struct event *log_head;
+
+struct event *handle_open(struct event *e, struct event *prev) {
+    struct event *entry = (struct event*)malloc(sizeof(struct event));
+    entry->next = log_head;
+    log_head = entry;
+    return e;
+}
+
+struct event *handle_close(struct event *e, struct event *prev) {
+    return prev;
+}
+
+void sink_dispatched(struct event *e) { }
+
+int main(int c) {
+    on_open = handle_open;
+    on_close = handle_close;
+    struct event *ev = (struct event*)malloc(sizeof(struct event));
+    struct event *r;
+    if (c) {
+        r = on_open(ev, null);
+    } else {
+        r = on_close(ev, log_head);
+    }
+    sink_dispatched(r);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_c(SOURCE)
+    pipeline = AnalysisPipeline(module)
+
+    andersen = run_andersen(module)
+    vsfs = pipeline.vsfs()
+    svfg = pipeline.svfg()
+
+    print("== call graph resolution ==")
+    print(f"  Andersen call edges       : {andersen.callgraph.num_edges()}")
+    print(f"  flow-sensitive call edges : {vsfs.callgraph.num_edges()}")
+    print(f"  indirect calls resolved   : {vsfs.stats.indirect_calls_resolved}")
+
+    print("\n== resolved targets per indirect call site ==")
+    for call, targets in vsfs.callgraph.callees.items():
+        if call.is_indirect():
+            names = ", ".join(sorted(f.name for f in targets))
+            print(f"  call at l{call.id} -> {{{names}}}")
+
+    print("\n== delta nodes (may gain edges during solving) ==")
+    print(f"  {len(svfg.delta_nodes)} delta nodes in the SVFG")
+    for node_id in sorted(svfg.delta_nodes)[:8]:
+        print(f"    {svfg.nodes[node_id].describe()}")
+
+    sink = module.functions["sink_dispatched"].params[0]
+    print("\n== what reaches the dispatcher's result ==")
+    print(f"  pt(dispatched) = {sorted(o.name for o in vsfs.points_to(sink))}")
+
+
+if __name__ == "__main__":
+    main()

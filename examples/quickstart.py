@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse a small C program with VSFS.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisPipeline, compile_c
+
+SOURCE = r"""
+int *g;         // a global pointer slot
+int x; int y;
+
+void choose(int c) {
+    if (c) { g = &x; } else { g = &y; }
+}
+
+void sink_before(int *p) { }
+void sink_after(int *p) { }
+
+int main(int c) {
+    sink_before(g);   // nothing stored yet: empty points-to set
+    choose(c);
+    sink_after(g);    // after the call: {x, y}
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_c(SOURCE)
+    pipeline = AnalysisPipeline(module)
+
+    # The staged pipeline: Andersen's auxiliary analysis, memory SSA, the
+    # SVFG, then the versioned flow-sensitive solver (the paper's VSFS).
+    result = pipeline.vsfs()
+
+    print("== points-to sets (top-level variables) ==")
+    for var in module.variables:
+        pts = result.points_to(var)
+        if pts:
+            names = ", ".join(sorted(obj.name for obj in pts))
+            print(f"  pt({var!r}) = {{{names}}}")
+
+    before = module.functions["sink_before"].params[0]
+    after = module.functions["sink_after"].params[0]
+    print("\n== flow-sensitivity in action ==")
+    print(f"  g before choose(): {sorted(o.name for o in result.points_to(before))}")
+    print(f"  g after  choose(): {sorted(o.name for o in result.points_to(after))}")
+
+    stats = result.stats
+    print("\n== solver statistics ==")
+    print(f"  versioning time : {stats.pre_time * 1000:.2f} ms")
+    print(f"  main phase time : {stats.solve_time * 1000:.2f} ms")
+    print(f"  propagations    : {stats.propagations}")
+    print(f"  stored pt sets  : {stats.stored_ptsets}")
+    print(f"  strong updates  : {stats.strong_updates}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table II and Table III on the synthetic suite.
+
+Run:  python examples/suite_report.py [bench ...]
+
+With no arguments the full 15-program suite runs (a few minutes); pass
+benchmark names (e.g. ``du ninja nano``) for a quick subset.
+"""
+
+import sys
+import time
+
+from repro.bench.runner import run_suite_program
+from repro.bench.tables import format_table2, format_table3
+from repro.bench.workloads import SUITE
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(SUITE)
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        print(f"unknown benchmarks: {unknown}; choose from {list(SUITE)}")
+        raise SystemExit(1)
+
+    results = []
+    for name in names:
+        start = time.perf_counter()
+        print(f"analysing {name} ...", flush=True)
+        results.append(run_suite_program(name))
+        print(f"  done in {time.perf_counter() - start:.1f}s")
+
+    print("\n=== Table II: benchmark characteristics ===")
+    print(format_table2(results))
+    print("\n=== Table III: SFS vs VSFS (time, memory, work) ===")
+    print(format_table3(results))
+
+    if all(res.precision_identical() for res in results):
+        print("\nprecision check: VSFS identical to SFS on every variable ✓")
+    else:
+        print("\nprecision check FAILED — VSFS diverged from SFS!")
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

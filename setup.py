@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network access, so
+PEP-517 editable installs (`pip install -e .`) cannot build metadata.  This
+shim lets `pip install -e . --no-use-pep517 --no-build-isolation` (and plain
+`pip install -e .` on fully equipped machines via pyproject.toml) work.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro-wpa = repro.cli:main"]},
+    python_requires=">=3.9",
+)

@@ -1,0 +1,26 @@
+"""repro — Object Versioning for Flow-Sensitive Pointer Analysis (CGO 2021).
+
+A complete Python reproduction of Barbar, Sui & Chen's *versioned staged
+flow-sensitive points-to analysis* (VSFS), including every substrate it
+stands on: an LLVM-like IR with a mini-C frontend, partial SSA, Andersen's
+auxiliary analysis, memory SSA, the sparse value-flow graph (SVFG), the SFS
+baseline, and the paper's meld-labelling-based object versioning.
+
+Quickstart::
+
+    from repro import analyze
+
+    result = analyze('''
+        int **p; int *q; int x;
+        int main() { q = &x; p = &q; **p = 0; return 0; }
+    ''', analysis="vsfs")
+
+See :mod:`repro.pipeline` for staged access (shared SVFG, stats, etc.).
+"""
+
+from repro.frontend import compile_c
+from repro.pipeline import AnalysisPipeline, analyze, module_from
+
+__version__ = "1.0.0"
+
+__all__ = ["analyze", "compile_c", "AnalysisPipeline", "module_from", "__version__"]

@@ -1,0 +1,24 @@
+"""Whole-program pointer analyses and their supporting structures.
+
+- :mod:`repro.analysis.andersen` — the flow-insensitive, inclusion-based
+  (Andersen-style) points-to analysis used as the *auxiliary analysis* of
+  SFS/VSFS (§II-B): field-sensitive, with on-the-fly call graph resolution
+  and online cycle collapsing.
+- :mod:`repro.analysis.callgraph` — the call graph the analyses build and
+  the mod/ref summaries consume.
+- :mod:`repro.analysis.modref` — interprocedural mod/ref: which
+  address-taken objects each function may read or write (directly or via
+  callees), feeding χ/μ placement in memory SSA.
+"""
+
+from repro.analysis.andersen import AndersenAnalysis, AndersenResult
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.modref import ModRefInfo, compute_modref
+
+__all__ = [
+    "AndersenAnalysis",
+    "AndersenResult",
+    "CallGraph",
+    "ModRefInfo",
+    "compute_modref",
+]

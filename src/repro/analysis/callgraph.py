@@ -1,0 +1,67 @@
+"""The call graph: who may call whom, and from which call site.
+
+Both Andersen's analysis and the flow-sensitive solvers resolve indirect
+calls on the fly; they record their discoveries here.  Memory SSA and the
+mod/ref analysis consume the Andersen-complete call graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.datastructs.graph import DiGraph, strongly_connected_components
+from repro.ir.function import Function
+from repro.ir.instructions import CallInst
+from repro.ir.module import Module
+
+
+class CallGraph:
+    """Call edges at call-site granularity plus a function-level view."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[CallInst, Set[Function]] = {}
+        self.callers: Dict[Function, Set[CallInst]] = {}
+        self._function_graph: DiGraph = DiGraph()
+        for function in module.functions.values():
+            self._function_graph.add_node(function)
+
+    def add_edge(self, call: CallInst, callee: Function) -> bool:
+        """Record ``call -> callee``; return True if the edge is new."""
+        targets = self.callees.setdefault(call, set())
+        if callee in targets:
+            return False
+        targets.add(callee)
+        self.callers.setdefault(callee, set()).add(call)
+        self._function_graph.add_edge(call.function, callee)
+        return True
+
+    def callees_of(self, call: CallInst) -> Set[Function]:
+        return self.callees.get(call, set())
+
+    def callsites_of(self, callee: Function) -> Set[CallInst]:
+        return self.callers.get(callee, set())
+
+    def call_edges(self) -> Iterator[Tuple[CallInst, Function]]:
+        for call, targets in self.callees.items():
+            for target in targets:
+                yield call, target
+
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self.callees.values())
+
+    def function_graph(self) -> DiGraph:
+        return self._function_graph
+
+    def bottom_up_order(self) -> List[List[Function]]:
+        """SCCs of the function-level graph, callees before callers."""
+        return strongly_connected_components(self._function_graph)
+
+    def recursive_functions(self) -> Set[Function]:
+        recursive: Set[Function] = set()
+        for component in self.bottom_up_order():
+            if len(component) > 1:
+                recursive.update(component)
+            elif self._function_graph.has_edge(component[0], component[0]):
+                recursive.add(component[0])
+        return recursive

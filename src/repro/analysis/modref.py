@@ -1,0 +1,112 @@
+"""Interprocedural mod/ref analysis.
+
+For every function ``F`` compute, as bit masks over object ids:
+
+- ``mod[F]`` — address-taken objects *F* may write (its own stores plus,
+  transitively, its callees');
+- ``ref[F]`` — objects *F* may read (loads plus callees').
+
+These drive χ/μ placement in memory SSA (§II-B): a call site is annotated
+with ``μ(o)`` for objects its callees may *use* and ``o = χ(o)`` for objects
+they may *modify*; ``FUNENTRY``/``FUNEXIT`` get the mirror annotations.
+
+Because a weak update (``o₂ = χ(o₁)``) *observes* the old value, the objects
+flowing into a function are ``mod ∪ ref`` while the objects flowing out are
+``mod`` — helpers :meth:`ModRefInfo.in_objs`/:meth:`ModRefInfo.out_objs`.
+
+The fixed point runs over the Andersen-resolved call graph in callee-first
+SCC order (one inner worklist pass per cyclic component).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.andersen import AndersenResult
+from repro.analysis.callgraph import CallGraph
+from repro.datastructs.bitset import iter_bits
+from repro.ir.function import Function
+from repro.ir.instructions import CallInst, LoadInst, StoreInst
+from repro.ir.module import Module
+from repro.ir.values import FunctionObject, Variable
+
+
+class ModRefInfo:
+    """mod/ref masks per function, plus per-call-site views."""
+
+    def __init__(self, module: Module, callgraph: CallGraph):
+        self.module = module
+        self.callgraph = callgraph
+        self.mod: Dict[Function, int] = {}
+        self.ref: Dict[Function, int] = {}
+
+    def in_objs(self, function: Function) -> int:
+        """Objects whose value flows *into* the function (mod ∪ ref)."""
+        return self.mod.get(function, 0) | self.ref.get(function, 0)
+
+    def out_objs(self, function: Function) -> int:
+        """Objects whose value flows *out of* the function (mod)."""
+        return self.mod.get(function, 0)
+
+    def call_mu_objs(self, call: CallInst) -> int:
+        """Objects to annotate ``μ(o)`` at *call* (union over known callees)."""
+        mask = 0
+        for callee in self.callgraph.callees_of(call):
+            mask |= self.in_objs(callee)
+        return mask
+
+    def call_chi_objs(self, call: CallInst) -> int:
+        """Objects to annotate ``o = χ(o)`` at *call*."""
+        mask = 0
+        for callee in self.callgraph.callees_of(call):
+            mask |= self.out_objs(callee)
+        return mask
+
+
+def _strip_function_objects(module: Module, mask: int) -> int:
+    """Function 'objects' carry no mutable state; drop them from mod/ref."""
+    for oid in list(iter_bits(mask)):
+        if isinstance(module.objects[oid], FunctionObject):
+            mask &= ~(1 << oid)
+    return mask
+
+
+def compute_modref(module: Module, andersen: AndersenResult) -> ModRefInfo:
+    """Compute interprocedural mod/ref over the Andersen call graph."""
+    callgraph = andersen.callgraph
+    info = ModRefInfo(module, callgraph)
+
+    # ---- Local (intraprocedural) effects.
+    for function in module.functions.values():
+        mod = 0
+        ref = 0
+        for inst in function.instructions():
+            if isinstance(inst, StoreInst) and isinstance(inst.ptr, Variable):
+                mod |= andersen.pts_mask(inst.ptr)
+            elif isinstance(inst, LoadInst) and isinstance(inst.ptr, Variable):
+                ref |= andersen.pts_mask(inst.ptr)
+        info.mod[function] = _strip_function_objects(module, mod)
+        info.ref[function] = _strip_function_objects(module, ref)
+
+    # ---- Propagate callee effects to callers, callee-first.
+    components = callgraph.bottom_up_order()
+    for component in components:
+        members = set(component)
+        changed = True
+        while changed:
+            changed = False
+            for function in component:
+                mod = info.mod[function]
+                ref = info.ref[function]
+                for inst in function.instructions():
+                    if not isinstance(inst, CallInst):
+                        continue
+                    for callee in callgraph.callees_of(inst):
+                        mod |= info.mod.get(callee, 0)
+                        ref |= info.ref.get(callee, 0)
+                if mod != info.mod[function] or ref != info.ref[function]:
+                    info.mod[function] = mod
+                    info.ref[function] = ref
+                    # Only cyclic components need re-iteration.
+                    changed = len(members) > 1
+    return info

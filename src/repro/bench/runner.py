@@ -1,0 +1,112 @@
+"""End-to-end experiment driver for the suite benchmarks.
+
+Replicates the paper's measurement protocol: the auxiliary (Andersen)
+analysis, memory SSA and SVFG construction are *excluded* from the SFS/VSFS
+"main phase" times; VSFS's versioning time is reported separately (Table
+III's "ver." column).  Each solver gets its own freshly built SVFG because
+on-the-fly call graph resolution mutates the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.metrics import BenchmarkMeasurement, measure_analysis
+from repro.bench.workloads import SUITE, suite_program, suite_source_loc
+from repro.core.vsfs import VSFSAnalysis
+from repro.pipeline import AnalysisPipeline
+from repro.solvers.sfs import SFSAnalysis
+from repro.svfg.builder import SVFGStats
+
+
+@dataclass
+class SuiteResult:
+    """All measurements for one benchmark program."""
+
+    name: str
+    description: str
+    loc: int
+    svfg_stats: SVFGStats
+    andersen_time: float
+    sfs: BenchmarkMeasurement
+    vsfs: BenchmarkMeasurement
+
+    def vsfs_main_time(self) -> float:
+        if self.vsfs.stats is not None:
+            return self.vsfs.stats.solve_time
+        return self.vsfs.wall_time
+
+    def time_speedup(self) -> float:
+        """SFS main-phase time over VSFS total (versioning + main) time."""
+        vsfs_total = self.vsfs.wall_time
+        return self.sfs.wall_time / vsfs_total if vsfs_total > 0 else 0.0
+
+    def memory_ratio(self) -> float:
+        return (
+            self.sfs.peak_bytes / self.vsfs.peak_bytes
+            if self.vsfs.peak_bytes > 0
+            else 0.0
+        )
+
+    def propagation_ratio(self) -> float:
+        """SFS indirect propagations over VSFS's — the core saving."""
+        vsfs_props = max(self.vsfs.propagations, 1)
+        return self.sfs.propagations / vsfs_props
+
+    def stored_sets_ratio(self) -> float:
+        vsfs_sets = max(self.vsfs.stored_ptsets, 1)
+        return self.sfs.stored_ptsets / vsfs_sets
+
+    def precision_identical(self) -> bool:
+        """Filled by run_suite_program: SFS and VSFS agree on every var."""
+        return self._identical
+
+    _identical: bool = field(default=True, repr=False)
+
+
+def run_suite_program(name: str, check_equivalence: bool = True) -> SuiteResult:
+    """Build, analyse, and measure one suite benchmark."""
+    config = SUITE[name]
+    module = suite_program(name)
+    pipeline = AnalysisPipeline(module)
+    andersen = pipeline.andersen()
+    pipeline.memssa()  # shared, excluded from main-phase time
+    svfg_stats = pipeline.svfg().stats()
+
+    # The paper excludes auxiliary analysis, memory SSA and SVFG
+    # construction from the measured phase, so each run gets a pre-built
+    # SVFG (fresh per run: OTF call graph resolution mutates it).
+    sfs_solver_holder = {}
+    vsfs_solver_holder = {}
+    svfgs = {key: pipeline.fresh_svfg() for key in ("sfs-t", "sfs-m", "vsfs-t", "vsfs-m")}
+
+    def run_sfs_time():
+        sfs_solver_holder["result"] = SFSAnalysis(svfgs["sfs-t"]).run()
+        return sfs_solver_holder["result"]
+
+    def run_vsfs_time():
+        vsfs_solver_holder["result"] = VSFSAnalysis(svfgs["vsfs-t"]).run()
+        return vsfs_solver_holder["result"]
+
+    sfs_measure = measure_analysis(
+        "sfs", run_sfs_time, memory_thunk=lambda: SFSAnalysis(svfgs["sfs-m"]).run()
+    )
+    vsfs_measure = measure_analysis(
+        "vsfs", run_vsfs_time, memory_thunk=lambda: VSFSAnalysis(svfgs["vsfs-m"]).run()
+    )
+
+    result = SuiteResult(
+        name=name,
+        description=config.description,
+        loc=suite_source_loc(name),
+        svfg_stats=svfg_stats,
+        andersen_time=andersen.stats.solve_time,
+        sfs=sfs_measure,
+        vsfs=vsfs_measure,
+    )
+    if check_equivalence:
+        sfs_pt = sfs_solver_holder["result"]._pt
+        vsfs_pt = vsfs_solver_holder["result"]._pt
+        result._identical = sfs_pt == vsfs_pt
+    return result

@@ -1,0 +1,302 @@
+"""Seeded synthetic mini-C workloads.
+
+The paper evaluates on 15 open-source C/C++ programs compiled to LLVM
+bitcode — inputs we cannot ship or compile here (see DESIGN.md §2).  This
+module generates *structurally equivalent* inputs: heap-intensive programs
+full of stores/loads through may-alias pointers, control-flow joins, global
+data structures shared across deep call chains, and function-pointer
+dispatch — the ingredients that produce the single-object redundancy VSFS
+removes.  Generation is deterministic per (name, seed, knobs).
+
+``SUITE`` mirrors the paper's benchmark list (du … hyriseConsole) with
+sizes that grow roughly like the paper's Table II (scaled down ~50× so a
+pure-Python SFS finishes in seconds rather than hours).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.frontend import compile_c
+from repro.ir.module import Module
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the program generator.
+
+    The defaults produce a small but non-trivial program; the ``SUITE``
+    configs scale them per benchmark.
+    """
+
+    name: str = "workload"
+    seed: int = 1
+    num_fields: int = 4            # pointer fields per node struct
+    num_globals: int = 6           # global `struct node *` roots
+    num_handlers: int = 2          # global function-pointer slots
+    num_functions: int = 10        # generated worker functions
+    stmts_per_function: int = 12   # statement budget per function body
+    max_call_depth: int = 3        # nesting of direct call chains
+    indirect_call_rate: float = 0.1   # fraction of calls made through fnptrs
+    store_rate: float = 0.25       # stores vs loads in the statement mix
+    branch_rate: float = 0.25      # probability a statement is an if/else
+    loop_rate: float = 0.1         # probability a statement is a loop
+    malloc_rate: float = 0.15      # fresh heap objects in the mix
+    recursion_rate: float = 0.02   # chance a call targets any function
+    description: str = ""
+
+
+class _Generator:
+    """Emits one deterministic mini-C translation unit."""
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.lines: List[str] = []
+        self._label = 0
+
+    # ------------------------------------------------------------ utilities
+
+    def emit(self, line: str, indent: int = 0) -> None:
+        self.lines.append("    " * indent + line)
+
+    def fresh(self, hint: str) -> str:
+        self._label += 1
+        return f"{hint}{self._label}"
+
+    def global_name(self, index: int) -> str:
+        return f"g{index}"
+
+    def any_global(self) -> str:
+        return self.global_name(self.rng.randrange(self.config.num_globals))
+
+    def field(self) -> str:
+        return f"f{self.rng.randrange(self.config.num_fields)}"
+
+    # ------------------------------------------------------------ generation
+
+    def generate(self) -> str:
+        cfg = self.config
+        fields = "".join(f" struct node *f{i};" for i in range(cfg.num_fields))
+        self.emit(f"struct node {{ int val;{fields} }};")
+        self.emit("")
+        for i in range(cfg.num_globals):
+            self.emit(f"struct node *g{i};")
+        for i in range(cfg.num_handlers):
+            self.emit(f"fnptr h{i};")
+        self.emit("")
+        for index in range(cfg.num_functions):
+            self._function(index)
+        self._main()
+        return "\n".join(self.lines) + "\n"
+
+    def _ptr_expr(self, locals_: List[str]) -> str:
+        """A pointer-valued expression over available locals/globals."""
+        rng = self.rng
+        choice = rng.random()
+        pool = locals_ + [self.any_global()]
+        base = rng.choice(pool)
+        if choice < 0.35:
+            return base
+        if choice < 0.7:
+            return f"{base}->{self.field()}"
+        if choice < 0.85:
+            return self.any_global()
+        return f"{base}->{self.field()}->{self.field()}"
+
+    def _statement(self, locals_: List[str], indent: int, depth: int, fn_index: int,
+                   in_loop: bool = False) -> None:
+        cfg = self.config
+        rng = self.rng
+        roll = rng.random()
+        if roll < cfg.branch_rate and depth < 3:
+            cond_var = rng.choice(locals_)
+            # Nested blocks get a copy of the scope: their declarations must
+            # not leak into statements emitted after the block.
+            self.emit(f"if ({cond_var} != null) {{", indent)
+            then_scope = list(locals_)
+            for __ in range(rng.randrange(1, 3)):
+                self._statement(then_scope, indent + 1, depth + 1, fn_index, in_loop)
+            # Occasionally break/continue out of an enclosing loop from the
+            # taken branch (exercises the frontend's loop-context lowering).
+            if in_loop and rng.random() < 0.25:
+                self.emit(rng.choice(["break;", "continue;"]), indent + 1)
+            self.emit("} else {", indent)
+            else_scope = list(locals_)
+            for __ in range(rng.randrange(1, 3)):
+                self._statement(else_scope, indent + 1, depth + 1, fn_index, in_loop)
+            self.emit("}", indent)
+            return
+        roll -= cfg.branch_rate
+        if roll < cfg.loop_rate and depth < 3:
+            counter = self.fresh("i")
+            bound = rng.randrange(2, 8)
+            self.emit(f"int {counter};", indent)
+            if rng.random() < 0.25:
+                self.emit(f"{counter} = 0;", indent)
+                self.emit("do {", indent)
+                body_scope = list(locals_)
+                for __ in range(rng.randrange(1, 3)):
+                    self._statement(body_scope, indent + 1, depth + 1, fn_index, True)
+                self.emit(f"{counter} += 1;", indent + 1)
+                self.emit(f"}} while ({counter} < {bound});", indent)
+            else:
+                self.emit(f"for ({counter} = 0; {counter} < {bound}; {counter}++) {{",
+                          indent)
+                body_scope = list(locals_)
+                for __ in range(rng.randrange(1, 3)):
+                    self._statement(body_scope, indent + 1, depth + 1, fn_index, True)
+                self.emit("}", indent)
+            return
+        roll -= cfg.loop_rate
+        if roll < cfg.malloc_rate:
+            name = self.fresh("m")
+            self.emit(f"struct node *{name} = (struct node*)malloc(sizeof(struct node));",
+                      indent)
+            self.emit(f"{name}->{self.field()} = {rng.choice(locals_)};", indent)
+            locals_.append(name)
+            return
+        roll -= cfg.malloc_rate
+        call_rate = 0.2
+        if roll < call_rate and fn_index > 0:
+            self._call_stmt(locals_, indent, fn_index)
+            return
+        roll -= call_rate
+        if rng.random() < cfg.store_rate:
+            target = rng.choice(locals_ + [self.any_global()])
+            if rng.random() < 0.5:
+                self.emit(f"{target}->{self.field()} = {self._ptr_expr(locals_)};", indent)
+            else:
+                self.emit(f"{self.any_global()} = {self._ptr_expr(locals_)};", indent)
+        else:
+            name = self.fresh("v")
+            self.emit(f"struct node *{name} = {self._ptr_expr(locals_)};", indent)
+            locals_.append(name)
+
+    def _call_stmt(self, locals_: List[str], indent: int, fn_index: int) -> None:
+        cfg = self.config
+        rng = self.rng
+        args = f"{rng.choice(locals_)}, {self._ptr_expr(locals_)}"
+        name = self.fresh("r")
+        if rng.random() < cfg.indirect_call_rate and cfg.num_handlers:
+            handler = f"h{rng.randrange(cfg.num_handlers)}"
+            self.emit(f"struct node *{name} = {handler}({args});", indent)
+        else:
+            if rng.random() < cfg.recursion_rate:
+                target = rng.randrange(cfg.num_functions)
+            else:
+                target = rng.randrange(fn_index)  # lower-indexed: mostly a DAG
+            self.emit(f"struct node *{name} = fn{target}({args});", indent)
+        locals_.append(name)
+
+    def _function(self, index: int) -> None:
+        cfg = self.config
+        self.emit(f"struct node *fn{index}(struct node *a, struct node *b) {{")
+        locals_ = ["a", "b"]
+        for __ in range(cfg.stmts_per_function):
+            self._statement(locals_, 1, 0, index)
+        self.emit(f"return {self.rng.choice(locals_)};", 1)
+        self.emit("}")
+        self.emit("")
+
+    def _main(self) -> None:
+        cfg = self.config
+        rng = self.rng
+        self.emit("int main() {")
+        # Seed the global roots with fresh heap structures.
+        for i in range(cfg.num_globals):
+            self.emit(f"g{i} = (struct node*)malloc(sizeof(struct node));", 1)
+        # Link some globals into shared shapes (aliasing across roots).
+        for __ in range(cfg.num_globals):
+            self.emit(f"{self.any_global()}->{self.field()} = {self.any_global()};", 1)
+        # Register function pointers.
+        for i in range(cfg.num_handlers):
+            target = rng.randrange(cfg.num_functions)
+            self.emit(f"h{i} = fn{target};", 1)
+        # Heap-intensive driver loop.
+        self.emit("int i;", 1)
+        self.emit("for (i = 0; i < 8; i = i + 1) {", 1)
+        calls = max(2, cfg.num_functions // 3)
+        for __ in range(calls):
+            target = rng.randrange(cfg.num_functions)
+            self.emit(f"{self.any_global()} = fn{target}({self.any_global()}, "
+                      f"{self.any_global()});", 2)
+        self.emit("}", 1)
+        self.emit("return 0;", 1)
+        self.emit("}")
+
+
+def generate_source(config: WorkloadConfig) -> str:
+    """Deterministically generate mini-C source for *config*."""
+    return _Generator(config).generate()
+
+
+def generate_program(config: WorkloadConfig) -> Module:
+    """Generate and compile a workload into an analysis-ready module."""
+    return compile_c(generate_source(config), name=config.name)
+
+
+def _suite_config(
+    name: str,
+    seed: int,
+    functions: int,
+    stmts: int,
+    globals_: int,
+    handlers: int,
+    indirect: float,
+    description: str,
+) -> WorkloadConfig:
+    return WorkloadConfig(
+        name=name,
+        seed=seed,
+        num_functions=functions,
+        stmts_per_function=stmts,
+        num_globals=globals_,
+        num_handlers=handlers,
+        indirect_call_rate=indirect,
+        description=description,
+    )
+
+
+#: The 15-program suite mirroring the paper's Table II (scaled down).
+#: Ordering and relative sizes follow the paper: du is the smallest,
+#: hyriseConsole the largest; bake/janet/astyle are indirect-flow heavy.
+SUITE: Dict[str, WorkloadConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        _suite_config("du", 101, 6, 8, 4, 1, 0.05, "Disk usage (GNU)"),
+        _suite_config("ninja", 102, 8, 9, 5, 2, 0.10, "Build system"),
+        _suite_config("bake", 103, 8, 10, 5, 3, 0.30, "Build system"),
+        _suite_config("dpkg", 104, 9, 9, 5, 1, 0.05, "Package manager"),
+        _suite_config("nano", 105, 10, 10, 6, 2, 0.15, "Text editor"),
+        _suite_config("i3", 106, 11, 10, 6, 2, 0.08, "Window manager"),
+        _suite_config("psql", 107, 12, 10, 6, 2, 0.08, "PostgreSQL frontend"),
+        _suite_config("janet", 108, 12, 12, 7, 3, 0.30, "Janet compiler"),
+        _suite_config("astyle", 109, 14, 12, 7, 3, 0.25, "Code formatter"),
+        _suite_config("tmux", 110, 15, 12, 8, 2, 0.12, "Terminal multiplexer"),
+        _suite_config("mruby", 111, 16, 11, 8, 2, 0.10, "Ruby interpreter"),
+        _suite_config("mutt", 112, 17, 12, 8, 3, 0.18, "Terminal email client"),
+        _suite_config("bash", 113, 19, 13, 9, 3, 0.15, "UNIX shell"),
+        _suite_config("lynx", 114, 21, 13, 10, 3, 0.20, "Terminal web browser"),
+        _suite_config("hyriseConsole", 115, 23, 14, 10, 4, 0.22, "Hyrise DB frontend"),
+    ]
+}
+
+_module_cache: Dict[str, Module] = {}
+
+
+def suite_program(name: str, cached: bool = True) -> Module:
+    """Compile (and cache) one suite benchmark by name."""
+    if cached and name in _module_cache:
+        return _module_cache[name]
+    module = generate_program(SUITE[name])
+    if cached:
+        _module_cache[name] = module
+    return module
+
+
+def suite_source_loc(name: str) -> int:
+    """Lines of generated mini-C source (the Table II 'LOC' stand-in)."""
+    return generate_source(SUITE[name]).count("\n")

@@ -1,0 +1,30 @@
+"""Client analyses built on top of the points-to results.
+
+The paper motivates points-to analysis as the substrate for "compiler
+optimisation, vulnerability detection, program verification, and program
+slicing"; this package provides working examples of each family:
+
+- :mod:`repro.clients.aliases` — an alias-query oracle
+  (may-alias, pointee sets, reverse points-to);
+- :mod:`repro.clients.nullderef` — flow-sensitive detection of
+  dereferences through possibly-null/uninitialised pointers, showing the
+  precision gap between VSFS and the auxiliary analysis;
+- :mod:`repro.clients.deadstore` — stores whose written values can never
+  be observed by any load (value-flow reachability over the SVFG);
+- :mod:`repro.clients.slicer` — forward/backward value-flow slicing over
+  SVFG direct+indirect edges.
+"""
+
+from repro.clients.aliases import AliasOracle
+from repro.clients.deadstore import DeadStoreReport, find_dead_stores
+from repro.clients.nullderef import NullDerefReport, find_null_derefs
+from repro.clients.slicer import ValueFlowSlicer
+
+__all__ = [
+    "AliasOracle",
+    "DeadStoreReport",
+    "find_dead_stores",
+    "NullDerefReport",
+    "find_null_derefs",
+    "ValueFlowSlicer",
+]

@@ -1,0 +1,76 @@
+"""Alias queries over a points-to result.
+
+Wraps any result exposing ``pts_mask`` (Andersen, SFS, VSFS, ICFG-FS) in
+the query API client analyses actually use: may-alias between variables,
+pointee enumeration, and the reverse map from objects to the variables
+that may point to them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.datastructs.bitset import count_bits, iter_bits
+from repro.ir.module import Module
+from repro.ir.values import MemObject, Variable
+
+
+class AliasOracle:
+    """Alias queries over one analysis result."""
+
+    def __init__(self, module: Module, result):
+        self.module = module
+        self.result = result
+        self._reverse: "Dict[int, List[Variable]] | None" = None
+
+    # ---------------------------------------------------------------- queries
+
+    def may_alias(self, a: Variable, b: Variable) -> bool:
+        """May *a* and *b* point to a common object?"""
+        return bool(self.result.pts_mask(a) & self.result.pts_mask(b))
+
+    def pointees(self, var: Variable) -> Set[MemObject]:
+        return {
+            self.module.objects[oid]
+            for oid in iter_bits(self.result.pts_mask(var))
+        }
+
+    def points_to_size(self, var: Variable) -> int:
+        return count_bits(self.result.pts_mask(var))
+
+    def is_null_like(self, var: Variable) -> bool:
+        """True if the analysis found nothing *var* can point to."""
+        return self.result.pts_mask(var) == 0
+
+    def pointers_to(self, obj: MemObject) -> List[Variable]:
+        """All top-level variables that may point to *obj*."""
+        if self._reverse is None:
+            reverse: Dict[int, List[Variable]] = {}
+            for var in self.module.variables:
+                for oid in iter_bits(self.result.pts_mask(var)):
+                    reverse.setdefault(oid, []).append(var)
+            self._reverse = reverse
+        return self._reverse.get(obj.id, [])
+
+    def alias_pairs(self, variables: Iterable[Variable]) -> List[Tuple[Variable, Variable]]:
+        """All unordered may-alias pairs among *variables*."""
+        pool = [v for v in variables if self.result.pts_mask(v)]
+        pairs = []
+        for i, a in enumerate(pool):
+            mask_a = self.result.pts_mask(a)
+            for b in pool[i + 1:]:
+                if mask_a & self.result.pts_mask(b):
+                    pairs.append((a, b))
+        return pairs
+
+    # ------------------------------------------------------------- aggregate
+
+    def average_points_to_size(self) -> float:
+        """Mean |pt(v)| over variables with non-empty sets — the standard
+        client-facing precision metric (smaller = more precise)."""
+        sizes = [
+            count_bits(self.result.pts_mask(var))
+            for var in self.module.variables
+            if self.result.pts_mask(var)
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0

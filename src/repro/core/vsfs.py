@@ -1,0 +1,198 @@
+"""Versioned staged flow-sensitive points-to analysis (VSFS, §IV-D).
+
+The solver of Figure 10.  Relative to SFS, the IN/OUT maps are gone:
+address-taken points-to sets live in one global table keyed by
+``(object, version)``, where versions come from the meld-labelling
+pre-analysis (:mod:`repro.core.versioning`).
+
+- ``[LOAD]ⱽ`` reads ``pt_{C_ℓ(o)}(o)`` for each object the pointer targets;
+- ``[STORE]ⱽ`` + ``[SU/WU]ⱽ`` write ``pt_{Y_ℓ(o)}(o)``, observing
+  ``pt_{C_ℓ(o)}(o)`` unless a strong update kills it;
+- ``[A-PROP]ⱽ`` propagates along the *deduplicated version constraints*:
+  an SVFG edge whose endpoints share a version needs no propagation at all
+  — this is where the time saving comes from — and nodes sharing a version
+  share storage — the memory saving.
+
+MEMPHI/ActualIN/ActualOUT/FormalIN/FormalOUT nodes need no processing at
+solve time: their behaviour is entirely compiled into version constraints.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.versioning import ObjectVersioning, version_objects
+from repro.datastructs.bitset import count_bits, iter_bits
+from repro.ir.function import Function
+from repro.ir.instructions import CallInst, LoadInst, StoreInst
+from repro.solvers.base import FlowSensitiveResult, StagedSolverBase
+from repro.svfg.builder import SVFG
+from repro.svfg.nodes import InstNode, SVFGNode
+
+
+class VSFSAnalysis(StagedSolverBase):
+    """Versioned staged flow-sensitive points-to analysis."""
+
+    analysis_name = "vsfs"
+
+    def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None):
+        super().__init__(svfg)
+        self._given_versioning = versioning
+        self.versioning: Optional[ObjectVersioning] = versioning
+        # Global points-to table: oid -> version id -> mask.
+        self.ptv: Dict[int, List[int]] = {}
+        # (oid, version) -> nodes that must re-run when the set grows.
+        self.readers: Dict[Tuple[int, int], List[int]] = {}
+
+    # ----------------------------------------------------------------- setup
+
+    def _prepare(self) -> None:
+        start = time.perf_counter()
+        if self.versioning is None:
+            self.versioning = version_objects(self.svfg)
+        versioning = self.versioning
+
+        memssa = self.memssa
+        for node in self.svfg.nodes:
+            if not isinstance(node, InstNode):
+                continue
+            inst = node.inst
+            if isinstance(inst, LoadInst):
+                for mu in memssa.load_mus.get(inst, ()):
+                    ver = versioning.consumed_version(node.id, mu.obj.id)
+                    self.readers.setdefault((mu.obj.id, ver), []).append(node.id)
+            elif isinstance(inst, StoreInst):
+                for chi in memssa.store_chis.get(inst, ()):
+                    ver = versioning.consumed_version(node.id, chi.obj.id)
+                    self.readers.setdefault((chi.obj.id, ver), []).append(node.id)
+        self.stats.pre_time = time.perf_counter() - start
+
+    # ------------------------------------------------------- version tables
+
+    def _table(self, oid: int) -> List[int]:
+        table = self.ptv.get(oid)
+        if table is None:
+            assert self.versioning is not None
+            table = [0] * max(self.versioning.num_versions(oid), 1)
+            self.ptv[oid] = table
+        return table
+
+    def ptv_mask(self, oid: int, ver: int) -> int:
+        table = self.ptv.get(oid)
+        if table is None or ver >= len(table):
+            return 0
+        return table[ver]
+
+    def _ptv_join(self, oid: int, ver: int, mask: int) -> None:
+        """Grow pt_κ(o) and run [A-PROP]ⱽ transitively."""
+        if not mask:
+            return
+        assert self.versioning is not None
+        constraints = self.versioning.constraints
+        readers = self.readers
+        stack = [(oid, ver, mask)]
+        while stack:
+            oid, ver, mask = stack.pop()
+            table = self._table(oid)
+            while ver >= len(table):  # defensive: OTF-interned versions
+                table.append(0)
+            old = table[ver]
+            new = old | mask
+            if new == old:
+                continue
+            self.stats.unions += 1
+            table[ver] = new
+            for reader in readers.get((oid, ver), ()):
+                self.worklist.push(reader)
+            for dst_ver in constraints.get((oid, ver), ()):
+                self.stats.propagations += 1
+                stack.append((oid, dst_ver, new))
+
+    # -------------------------------------------------------------- mem rules
+
+    def _process_load(self, node: InstNode, inst: LoadInst) -> None:
+        """[LOAD]ⱽ: pt(p) ⊇ pt_{C_ℓ(o)}(o) for each o ∈ pt(q)."""
+        assert self.versioning is not None
+        consumed = self.versioning.consumed[node.id]
+        mask = 0
+        for oid in iter_bits(self.value_mask(inst.ptr)):
+            ver = consumed.get(oid)
+            if ver is not None:
+                mask |= self.ptv_mask(oid, ver)
+        if mask:
+            self.set_pt(inst.dst, mask)
+
+    def _process_store(self, node: InstNode, inst: StoreInst) -> None:
+        """[STORE]ⱽ + [SU/WU]ⱽ: write the yielded versions."""
+        assert self.versioning is not None
+        versioning = self.versioning
+        ptr_mask = self.value_mask(inst.ptr)
+        gen = self.value_mask(inst.value)
+        su_oid = self.strong_update_target(ptr_mask)
+        consumed = versioning.consumed[node.id]
+        yielded = versioning.yielded[node.id]
+        for chi in self.memssa.store_chis.get(inst, ()):
+            oid = chi.obj.id
+            y_ver = yielded.get(oid)
+            if y_ver is None:
+                continue
+            c_ver = consumed.get(oid, ObjectVersioning.EPSILON)
+            incoming = self.ptv_mask(oid, c_ver)
+            if oid == su_oid:
+                out = gen  # strong update kills the consumed set
+                self.stats.strong_updates += 1
+            elif ptr_mask >> oid & 1:
+                out = incoming | gen
+                self.stats.weak_updates += 1
+            else:
+                out = incoming  # pass-through (χ over-approximation)
+            self._ptv_join(oid, y_ver, out)
+
+    def _process_mem_node(self, node: SVFGNode) -> None:
+        """MEMPHI and actual/formal IN/OUT nodes are fully compiled into
+        version constraints — nothing to do at solve time."""
+
+    # -------------------------------------------------- on-the-fly call graph
+
+    def _on_new_call_edge(self, call: CallInst, callee: Function, touched: List[int]) -> None:
+        """Register version constraints for OTF-discovered μ/χ edges and
+        replay already-computed points-to sets across them."""
+        assert self.versioning is not None
+        versioning = self.versioning
+        for oid, ain in self.svfg.actual_in.get(call, {}).items():
+            fin = self.svfg.formal_in.get(callee, {}).get(oid)
+            if fin is None:
+                continue
+            src = versioning.yielded_version(ain, oid)
+            dst = versioning.consumed_version(fin, oid)
+            if versioning.add_constraint(oid, src, dst):
+                self.stats.propagations += 1
+                self._ptv_join(oid, dst, self.ptv_mask(oid, src))
+        for oid, aout in self.svfg.actual_out.get(call, {}).items():
+            fout = self.svfg.formal_out.get(callee, {}).get(oid)
+            if fout is None:
+                continue
+            src = versioning.yielded_version(fout, oid)
+            dst = versioning.consumed_version(aout, oid)
+            if versioning.add_constraint(oid, src, dst):
+                self.stats.propagations += 1
+                self._ptv_join(oid, dst, self.ptv_mask(oid, src))
+
+    # --------------------------------------------------------------- summary
+
+    def _memory_footprint(self) -> None:
+        sets = 0
+        bits = 0
+        for table in self.ptv.values():
+            for mask in table:
+                if mask:
+                    sets += 1
+                    bits += count_bits(mask)
+        self.stats.stored_ptsets = sets
+        self.stats.stored_ptset_bits = bits
+
+
+def run_vsfs(svfg: SVFG, versioning: Optional[ObjectVersioning] = None) -> FlowSensitiveResult:
+    """Run VSFS over a built SVFG (versioning is computed if not supplied)."""
+    return VSFSAnalysis(svfg, versioning).run()

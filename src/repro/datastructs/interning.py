@@ -1,0 +1,58 @@
+"""Interning of hashable values to dense integer ids.
+
+Object versioning melds prelabels into label *sets*; two SVFG nodes share a
+points-to set exactly when their melded label sets are equal.  Interning each
+distinct label set to a small id makes "same version" a cheap int comparison
+and makes the global ``(object, version) -> points-to set`` table compact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Interner(Generic[T]):
+    """Assign consecutive ids (from 0) to distinct hashable values.
+
+    >>> interner = Interner()
+    >>> interner.intern("a"), interner.intern("b"), interner.intern("a")
+    (0, 1, 0)
+    >>> interner.value_of(1)
+    'b'
+    >>> len(interner)
+    2
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[T, int] = {}
+        self._values: List[T] = []
+
+    def intern(self, value: T) -> int:
+        """Return the id for *value*, allocating a new one if unseen."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def get(self, value: T) -> "int | None":
+        """Return *value*'s id, or None if it was never interned."""
+        return self._ids.get(value)
+
+    def value_of(self, ident: int) -> T:
+        """Return the value interned under *ident*."""
+        return self._values[ident]
+
+    def __contains__(self, value: T) -> bool:
+        return value in self._ids
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)

@@ -1,0 +1,58 @@
+"""Union-find (disjoint sets) over dense integer ids.
+
+Andersen's analysis collapses strongly connected constraint-graph components
+into a single representative; union-find keeps the node → representative map
+near O(1) amortised via path halving and union by rank.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class UnionFind:
+    """Disjoint-set forest over the ids ``0 .. n-1`` (growable)."""
+
+    __slots__ = ("_parent", "_rank")
+
+    def __init__(self, size: int = 0):
+        self._parent: List[int] = list(range(size))
+        self._rank: List[int] = [0] * size
+
+    def add(self) -> int:
+        """Add a fresh singleton set and return its id."""
+        ident = len(self._parent)
+        self._parent.append(ident)
+        self._rank.append(0)
+        return ident
+
+    def ensure(self, ident: int) -> None:
+        """Grow the universe so that *ident* is a valid id."""
+        while len(self._parent) <= ident:
+            self.add()
+
+    def find(self, ident: int) -> int:
+        """Return the representative of *ident*'s set (path halving)."""
+        parent = self._parent
+        while parent[ident] != ident:
+            parent[ident] = parent[parent[ident]]
+            ident = parent[ident]
+        return ident
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of *a* and *b*; return the surviving representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def __len__(self) -> int:
+        return len(self._parent)

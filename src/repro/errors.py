@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR module is malformed (verifier failures, bad builder use)."""
+
+
+class ParseError(ReproError):
+    """Raised by the mini-C frontend and the textual IR parser.
+
+    Carries the source position of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis is mis-configured or run out of order."""
+
+
+class SolverError(AnalysisError):
+    """Raised when a points-to solver detects an internal inconsistency."""

@@ -1,0 +1,24 @@
+"""A mini-C frontend.
+
+The paper analyses C/C++ programs compiled to LLVM bitcode; this package
+plays the Clang role for a C subset rich enough to produce every pointer
+pattern the analysis cares about:
+
+- pointers of any depth, address-of, dereference;
+- ``struct`` types with named fields, ``.``/``->`` access, nested structs;
+- arrays (collapsed to a single abstract object, as field-insensitive
+  analyses do);
+- heap allocation via ``malloc(sizeof ...)``;
+- function pointers (``fnptr``/C function types by name), indirect calls;
+- globals with initialisers (lowered into ``__module_init__``, which ends by
+  calling ``main``);
+- ``if``/``else``, ``while``, ``for``, ``return``, nested blocks, integer
+  arithmetic and comparisons.
+
+Entry point: :func:`compile_c` (source text → analysed-ready
+:class:`~repro.ir.module.Module`).
+"""
+
+from repro.frontend.compile import compile_c
+
+__all__ = ["compile_c"]

@@ -1,0 +1,209 @@
+"""AST node definitions for the mini-C language.
+
+Plain dataclasses; positions (line, column) are carried for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.frontend.ctypes import CType
+
+
+@dataclass
+class Node:
+    line: int = 0
+    column: int = 0
+
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """``*e``, ``&e``, ``-e``, ``!e``, ``~e``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` where target is any lvalue expression."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """``callee(args...)`` — direct if callee names a function, else indirect."""
+
+    callee: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expr):
+    """``obj.name`` (arrow=False) or ``obj->name`` (arrow=True)."""
+
+    obj: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — arrays collapse to one abstract object."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Malloc(Expr):
+    """``malloc(sizeof(T))`` / ``malloc(n)``; *ctype* is None for raw sizes."""
+
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class Cast(Expr):
+    """``(T) e`` — points-to flows through unchanged."""
+
+    ctype: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);`` — body runs at least once."""
+
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break;`` — jump past the innermost enclosing loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;`` — jump to the innermost loop's next-iteration point."""
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------- top level
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    fields: List[Tuple[str, CType]] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str = ""
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    ret_type: Optional[CType] = None
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Optional[Block] = None  # None for declarations
+
+
+@dataclass
+class Program(Node):
+    structs: List[StructDecl] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,32 @@
+"""One-call compilation: mini-C source → analysis-ready IR module."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.cparser import parse_c
+from repro.frontend.lower import ModuleLowering
+from repro.ir.module import Module
+from repro.passes.pipeline import prepare_module
+
+
+def compile_c(
+    source: str,
+    name: str = "cmodule",
+    promote: bool = True,
+    prepare: bool = True,
+) -> Module:
+    """Compile mini-C *source* into an IR :class:`Module`.
+
+    :param promote: run mem2reg so the module is in partial SSA form
+        (disable to inspect the raw Clang-style lowering).
+    :param prepare: run the full pre-analysis pipeline (unify returns,
+        mem2reg, singleton marking, verification).  When False the caller
+        must run :func:`repro.passes.prepare_module` before analysing.
+    """
+    program, __ = parse_c(source)
+    module = ModuleLowering(program, name).lower()
+    module.renumber()
+    if prepare:
+        prepare_module(module, promote=promote)
+    return module

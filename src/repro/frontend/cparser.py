@@ -1,0 +1,423 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar (simplified C)::
+
+    program   := (struct | global | function)*
+    struct    := 'struct' IDENT '{' (type IDENT array? ';')+ '}' ';'
+    type      := ('int' | 'void' | 'fnptr' | 'struct' IDENT) '*'*
+    global    := type IDENT array? ('=' expr)? ';'
+    function  := type IDENT '(' param (',' param)* ')' (block | ';')
+    block     := '{' stmt* '}'
+    stmt      := decl | 'if' ... | 'while' ... | 'for' ... | 'return' expr? ';'
+               | block | expr ';'
+
+Expressions support assignment, ``||``/``&&`` (lowered non-short-circuit:
+both sides always evaluate, which is irrelevant to points-to analysis),
+comparisons, arithmetic, prefix ``* & - ! ~``, casts ``(T*)e``, postfix
+calls, indexing, ``.``/``->``, plus ``malloc(sizeof(T))`` and ``null``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    CArray,
+    CPtr,
+    CType,
+    FNPTR_TYPE,
+    INT_TYPE,
+    StructTable,
+    VOID_TYPE,
+)
+from repro.frontend.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = ("int", "void", "fnptr", "struct")
+
+
+class CParser:
+    """Parses one translation unit into an :class:`ast.Program`."""
+
+    def __init__(self, source: str):
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+        self.structs = StructTable()
+
+    # ---------------------------------------------------------------- cursor
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.text!r}", token.line, token.column)
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message + f" (at {token.text!r})", token.line, token.column)
+
+    # ----------------------------------------------------------------- types
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "kw" and token.text in _TYPE_KEYWORDS
+
+    def parse_type(self) -> CType:
+        token = self.next()
+        if token.kind != "kw" or token.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {token.text!r}", token.line, token.column)
+        base: CType
+        if token.text == "int":
+            base = INT_TYPE
+        elif token.text == "void":
+            base = VOID_TYPE
+        elif token.text == "fnptr":
+            base = FNPTR_TYPE
+        else:  # struct
+            name = self.expect("ident").text
+            base = self.structs.declare(name)
+        while self.accept("op", "*"):
+            base = CPtr(base)
+        return base
+
+    def parse_array_suffix(self, base: CType) -> CType:
+        if self.accept("op", "["):
+            size_token = self.expect("num")
+            self.expect("op", "]")
+            return CArray(base, int(size_token.text))
+        return base
+
+    # ------------------------------------------------------------- top level
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.peek().kind != "eof":
+            if (
+                self.peek().kind == "kw"
+                and self.peek().text == "struct"
+                and self.peek(2).kind == "op"
+                and self.peek(2).text == "{"
+            ):
+                program.structs.append(self.parse_struct())
+                continue
+            ctype = self.parse_type()
+            name_token = self.expect("ident")
+            if self.peek().kind == "op" and self.peek().text == "(":
+                program.functions.append(self.parse_function(ctype, name_token))
+            else:
+                ctype = self.parse_array_suffix(ctype)
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_expr()
+                self.expect("op", ";")
+                program.globals.append(
+                    ast.GlobalDecl(name_token.line, name_token.column, name_token.text, ctype, init)
+                )
+        return program
+
+    def parse_struct(self) -> ast.StructDecl:
+        start = self.expect("kw", "struct")
+        name = self.expect("ident").text
+        struct = self.structs.declare(name)
+        self.expect("op", "{")
+        fields: List[Tuple[str, CType]] = []
+        while not self.accept("op", "}"):
+            ftype = self.parse_type()
+            fname = self.expect("ident").text
+            ftype = self.parse_array_suffix(ftype)
+            self.expect("op", ";")
+            fields.append((fname, ftype))
+        self.expect("op", ";")
+        struct.define(fields)
+        return ast.StructDecl(start.line, start.column, name, fields)
+
+    def parse_function(self, ret_type: CType, name_token: Token) -> ast.FuncDef:
+        self.expect("op", "(")
+        params: List[ast.ParamDecl] = []
+        if not self.accept("op", ")"):
+            if self.peek().kind == "kw" and self.peek().text == "void" \
+                    and self.peek(1).text == ")":
+                self.next()
+                self.expect("op", ")")
+            else:
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect("ident")
+                    params.append(ast.ParamDecl(pname.line, pname.column, pname.text, ptype))
+                    if self.accept("op", ")"):
+                        break
+                    self.expect("op", ",")
+        body = None
+        if not self.accept("op", ";"):
+            body = self.parse_block()
+        return ast.FuncDef(
+            name_token.line, name_token.column, name_token.text, ret_type, params, body
+        )
+
+    # ------------------------------------------------------------ statements
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return ast.Block(start.line, start.column, stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "op" and token.text == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_decl_stmt()
+        if token.kind == "kw" and token.text == "if":
+            return self.parse_if()
+        if token.kind == "kw" and token.text == "while":
+            return self.parse_while()
+        if token.kind == "kw" and token.text == "do":
+            return self.parse_do_while()
+        if token.kind == "kw" and token.text == "for":
+            return self.parse_for()
+        if token.kind == "kw" and token.text == "break":
+            self.next()
+            self.expect("op", ";")
+            return ast.Break(token.line, token.column)
+        if token.kind == "kw" and token.text == "continue":
+            self.next()
+            self.expect("op", ";")
+            return ast.Continue(token.line, token.column)
+        if token.kind == "kw" and token.text == "return":
+            self.next()
+            value = None
+            if not (self.peek().kind == "op" and self.peek().text == ";"):
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(token.line, token.column, value)
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(token.line, token.column, expr)
+
+    def parse_decl_stmt(self) -> ast.DeclStmt:
+        token = self.peek()
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        ctype = self.parse_array_suffix(ctype)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.DeclStmt(token.line, token.column, name, ctype, init)
+
+    def parse_if(self) -> ast.If:
+        token = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        els = None
+        if self.accept("kw", "else"):
+            els = self.parse_stmt()
+        return ast.If(token.line, token.column, cond, then, els)
+
+    def parse_while(self) -> ast.While:
+        token = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.While(token.line, token.column, cond, body)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        token = self.expect("kw", "do")
+        body = self.parse_stmt()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(token.line, token.column, body, cond)
+
+    def parse_for(self) -> ast.For:
+        token = self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.accept("op", ";"):
+            if self.at_type():
+                init = self.parse_decl_stmt()  # consumes ';'
+            else:
+                init = ast.ExprStmt(token.line, token.column, self.parse_expr())
+                self.expect("op", ";")
+        cond = None
+        if not (self.peek().kind == "op" and self.peek().text == ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not (self.peek().kind == "op" and self.peek().text == ")"):
+            step = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.For(token.line, token.column, init, cond, step, body)
+
+    # ----------------------------------------------------------- expressions
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assign()
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                     "%=": "%", "&=": "&", "|=": "|", "^=": "^"}
+
+    def parse_assign(self) -> ast.Expr:
+        lhs = self.parse_binary(0)
+        token = self.peek()
+        if token.kind == "op" and token.text == "=":
+            self.next()
+            value = self.parse_assign()
+            return ast.Assign(token.line, token.column, lhs, value)
+        if token.kind == "op" and token.text in self._COMPOUND_OPS:
+            # Desugar `a op= b` to `a = a op b`.  The target expression is
+            # evaluated twice; mini-C index/member expressions are
+            # effect-free enough for this to be harmless.
+            self.next()
+            value = self.parse_assign()
+            binop = ast.Binary(token.line, token.column,
+                               self._COMPOUND_OPS[token.text], lhs, value)
+            return ast.Assign(token.line, token.column, lhs, binop)
+        return lhs
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        lhs = self.parse_binary(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ops:
+                self.next()
+                rhs = self.parse_binary(level + 1)
+                lhs = ast.Binary(token.line, token.column, token.text, lhs, rhs)
+            else:
+                return lhs
+
+    @staticmethod
+    def _incdec(token, target: ast.Expr) -> ast.Expr:
+        """Desugar ``++x``/``x--`` etc. to ``x = x ± 1``.
+
+        The expression value is the *new* value in both positions — for
+        points-to purposes the distinction is irrelevant (pointer bumps stay
+        within the same collapsed abstract object).
+        """
+        op = "+" if token.text == "++" else "-"
+        one = ast.IntLit(token.line, token.column, 1)
+        binop = ast.Binary(token.line, token.column, op, target, one)
+        return ast.Assign(token.line, token.column, target, binop)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.next()
+            return self._incdec(token, self.parse_unary())
+        if token.kind == "op" and token.text in ("*", "&", "-", "!", "~"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.Unary(token.line, token.column, token.text, operand)
+        # Cast: '(' followed by a type keyword.
+        if token.kind == "op" and token.text == "(" and self.peek(1).kind == "kw" \
+                and self.peek(1).text in _TYPE_KEYWORDS:
+            self.next()
+            ctype = self.parse_type()
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.Cast(token.line, token.column, ctype, operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(token.line, token.column, expr, index)
+            elif token.kind == "op" and token.text == ".":
+                self.next()
+                name = self.expect("ident").text
+                expr = ast.Member(token.line, token.column, expr, name, arrow=False)
+            elif token.kind == "op" and token.text == "->":
+                self.next()
+                name = self.expect("ident").text
+                expr = ast.Member(token.line, token.column, expr, name, arrow=True)
+            elif token.kind == "op" and token.text == "(":
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                expr = ast.Call(token.line, token.column, expr, args)
+            elif token.kind == "op" and token.text in ("++", "--"):
+                self.next()
+                expr = self._incdec(token, expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "num":
+            return ast.IntLit(token.line, token.column, int(token.text))
+        if token.kind == "kw" and token.text == "null":
+            return ast.NullLit(token.line, token.column)
+        if token.kind == "kw" and token.text == "malloc":
+            self.expect("op", "(")
+            ctype: Optional[CType] = None
+            if self.accept("kw", "sizeof"):
+                self.expect("op", "(")
+                ctype = self.parse_type()
+                self.expect("op", ")")
+            elif not (self.peek().kind == "op" and self.peek().text == ")"):
+                self.parse_expr()  # raw byte count; ignored
+            self.expect("op", ")")
+            return ast.Malloc(token.line, token.column, ctype)
+        if token.kind == "ident":
+            return ast.Ident(token.line, token.column, token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+
+def parse_c(source: str) -> Tuple[ast.Program, StructTable]:
+    """Parse mini-C *source*; return the AST and the struct table."""
+    parser = CParser(source)
+    program = parser.parse_program()
+    return program, parser.structs

@@ -1,0 +1,180 @@
+"""The mini-C static type system.
+
+Types matter to the frontend for two things only:
+
+1. deciding whether an expression is a pointer (so the lowering knows which
+   instructions to emit), and
+2. resolving struct member names to the *flattened field offsets* the
+   analysis uses (the paper's ``f_k``; nested structs flatten the way SVF
+   flattens LLVM aggregates, so ``outer.inner.x`` is one offset from the
+   base object).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+
+
+class CType:
+    """Base class for mini-C types."""
+
+    def is_pointer_like(self) -> bool:
+        """True if values of this type can carry points-to information."""
+        return False
+
+    def flattened_size(self) -> int:
+        """Number of flattened scalar slots this type occupies."""
+        return 1
+
+
+class CInt(CType):
+    _instance: Optional["CInt"] = None
+
+    def __new__(cls) -> "CInt":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "int"
+
+
+class CVoid(CType):
+    _instance: Optional["CVoid"] = None
+
+    def __new__(cls) -> "CVoid":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class CPtr(CType):
+    def __init__(self, pointee: CType):
+        self.pointee = pointee
+
+    def is_pointer_like(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CPtr) and self.pointee == other.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+
+class CFnPtr(CType):
+    """An opaque function pointer (the ``fnptr`` keyword)."""
+
+    _instance: Optional["CFnPtr"] = None
+
+    def __new__(cls) -> "CFnPtr":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def is_pointer_like(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "fnptr"
+
+
+class CStruct(CType):
+    """A struct type; field offsets are flattened slot indices."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: List[Tuple[str, CType]] = []
+        self._offsets: Optional[Dict[str, int]] = None
+        self._size: Optional[int] = None
+
+    def define(self, fields: List[Tuple[str, CType]]) -> None:
+        self.fields = fields
+        self._offsets = None
+        self._size = None
+
+    def _layout(self) -> None:
+        offsets: Dict[str, int] = {}
+        offset = 0
+        for fname, ftype in self.fields:
+            offsets[fname] = offset
+            offset += ftype.flattened_size()
+        self._offsets = offsets
+        self._size = max(offset, 1)
+
+    def field_offset(self, name: str) -> int:
+        if self._offsets is None:
+            self._layout()
+        assert self._offsets is not None
+        if name not in self._offsets:
+            raise ParseError(f"struct {self.name} has no field {name!r}")
+        return self._offsets[name]
+
+    def field_type(self, name: str) -> CType:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise ParseError(f"struct {self.name} has no field {name!r}")
+
+    def flattened_size(self) -> int:
+        if self._size is None:
+            self._layout()
+        assert self._size is not None
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+
+class CArray(CType):
+    def __init__(self, elem: CType, size: int):
+        self.elem = elem
+        self.size = size
+
+    def is_pointer_like(self) -> bool:
+        # An array *name* decays to a pointer to its (collapsed) object.
+        return True
+
+    def flattened_size(self) -> int:
+        # The whole array collapses to one slot set; keep the element size so
+        # struct members after an array of structs stay distinct.
+        return self.elem.flattened_size()
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[{self.size}]"
+
+
+INT_TYPE = CInt()
+VOID_TYPE = CVoid()
+FNPTR_TYPE = CFnPtr()
+
+
+class StructTable:
+    """Registry of struct types declared in a translation unit."""
+
+    def __init__(self) -> None:
+        self._structs: Dict[str, CStruct] = {}
+
+    def declare(self, name: str) -> CStruct:
+        struct = self._structs.get(name)
+        if struct is None:
+            struct = CStruct(name)
+            self._structs[name] = struct
+        return struct
+
+    def lookup(self, name: str) -> CStruct:
+        struct = self._structs.get(name)
+        if struct is None:
+            raise ParseError(f"unknown struct {name!r}")
+        return struct
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._structs

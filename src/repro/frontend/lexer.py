@@ -1,0 +1,75 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "int",
+    "void",
+    "struct",
+    "fnptr",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "break",
+    "continue",
+    "return",
+    "sizeof",
+    "malloc",
+    "null",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>->|\+\+|--|&&|\|\||[<>=!]=|[-+*/%&|^]=|[-+*/%&|^<>=!~.,;:(){}\[\]?])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Token(NamedTuple):
+    kind: str  # 'num' | 'ident' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; comments and whitespace are skipped.
+
+    Raises :class:`ParseError` on an unrecognised character.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line, column))
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, column))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(Token("eof", "", line, 1))
+    return tokens

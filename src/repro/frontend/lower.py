@@ -1,0 +1,551 @@
+"""Lowering: mini-C AST → the LLVM-like IR.
+
+The lowering is deliberately Clang-like:
+
+- every local variable becomes an ``alloca`` + loads/stores (mem2reg later
+  promotes the non-address-taken ones into partial SSA);
+- every global becomes a ``global_alloc`` in the synthetic
+  ``__module_init__`` function, whose top-level address variable is shared
+  by all functions, and whose initialiser store also runs in
+  ``__module_init__`` — which finally calls ``main``;
+- ``s.f`` / ``p->f`` become ``FIELD`` instructions with *flattened* offsets;
+- arrays collapse to a single abstract object: ``&a[i]`` is the array's
+  address for any ``i`` (field-insensitive array handling, as in SVF);
+- a function name in expression position materialises the function's
+  address object (``funaddr``);
+- ``&&``/``||`` lower as plain binops (no short-circuit CFG); control flow
+  through ``if``/``while``/``for`` builds the usual diamond/loop shapes.
+
+Expressions lower through two mutually recursive entry points:
+:meth:`FunctionLowering.lvalue` (address + value type) and
+:meth:`FunctionLowering.rvalue` (operand + value type).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    CArray,
+    CFnPtr,
+    CPtr,
+    CStruct,
+    CType,
+    FNPTR_TYPE,
+    INT_TYPE,
+    VOID_TYPE,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Operand
+from repro.ir.module import Module
+from repro.ir.types import INT, PTR
+from repro.ir.values import Constant, Variable
+
+#: Static type used for pointers whose pointee we cannot see (e.g. the result
+#: of an indirect call).  Dereferencing it is a frontend error.
+UNKNOWN_PTR = CPtr(VOID_TYPE)
+
+
+def _ir_type(ctype: CType):
+    return PTR if ctype.is_pointer_like() else INT
+
+
+class ModuleLowering:
+    """Lowers a whole :class:`ast.Program` into a fresh module."""
+
+    def __init__(self, program: ast.Program, name: str = "cmodule"):
+        self.program = program
+        self.module = Module(name)
+        self.builder = IRBuilder(self.module)
+        # global name -> (address variable, declared value type)
+        self.globals: Dict[str, Tuple[Variable, CType]] = {}
+        self.functions: Dict[str, Function] = {}
+        self.func_ret: Dict[str, CType] = {}
+
+    def lower(self) -> Module:
+        # Declare all functions first so calls resolve in any order.
+        for func_def in self.program.functions:
+            if func_def.name not in self.functions:
+                func = Function(
+                    func_def.name,
+                    [Variable(param.name, _ir_type(param.ctype or INT_TYPE))
+                     for param in func_def.params],
+                )
+                self.module.add_function(func)
+                self.functions[func_def.name] = func
+                self.func_ret[func_def.name] = func_def.ret_type or VOID_TYPE
+
+        init = self.builder.function("__module_init__")
+        init_block = self.builder.block("entry")
+        # Allocate global objects (addresses shared module-wide).
+        for decl in self.program.globals:
+            assert decl.ctype is not None
+            addr = Variable(decl.name, PTR, is_global=True)
+            num_fields = (
+                decl.ctype.flattened_size() if isinstance(decl.ctype, CStruct) else 0
+            )
+            self.builder.global_alloc(decl.name, dst=addr, num_fields=num_fields)
+            if isinstance(decl.ctype, CArray):
+                # Retro-mark: the object was just created by global_alloc.
+                self.module.objects[-1].is_array = True
+            self.globals[decl.name] = (addr, decl.ctype)
+
+        # Lower function bodies.
+        for func_def in self.program.functions:
+            if func_def.body is not None:
+                FunctionLowering(self, func_def).lower()
+
+        # Global initialisers run in __module_init__, then main is called.
+        self.builder.switch_to(init_block)
+        init_lowering = FunctionLowering(self, None)
+        init_lowering.function = init
+        for decl in self.program.globals:
+            if decl.init is not None:
+                addr, __ = self.globals[decl.name]
+                value, __ = init_lowering.rvalue(decl.init)
+                self.builder.store(addr, value)
+        if "main" in self.functions:
+            main = self.functions["main"]
+            args: List[Operand] = [Constant(0, INT)] * len(main.params)
+            self.builder.call(main, args)
+        self.builder.ret()
+        return self.module
+
+
+class FunctionLowering:
+    """Lowers one function body; shares the module-level context."""
+
+    def __init__(self, parent: ModuleLowering, func_def: Optional[ast.FuncDef]):
+        self.parent = parent
+        self.module = parent.module
+        self.builder = parent.builder
+        self.func_def = func_def
+        self.function: Optional[Function] = (
+            parent.functions[func_def.name] if func_def is not None else None
+        )
+        # lexical scopes: name -> (alloca address var, value type)
+        self.scopes: List[Dict[str, Tuple[Variable, CType]]] = [{}]
+        self._block_counter = 0
+        # innermost-first (continue target, break target) pairs
+        self._loop_stack: List[Tuple[object, object]] = []
+
+    # ----------------------------------------------------------------- scope
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare_local(self, name: str, ctype: CType, node: ast.Node) -> Variable:
+        if name in self.scopes[-1]:
+            raise ParseError(f"redeclaration of {name!r}", node.line, node.column)
+        num_fields = ctype.flattened_size() if isinstance(ctype, CStruct) else 0
+        addr = self.builder.alloca(name, num_fields=num_fields)
+        if isinstance(ctype, CArray):
+            self.module.objects[-1].is_array = True
+        self.scopes[-1][name] = (addr, ctype)
+        return addr
+
+    def lookup(self, name: str) -> Optional[Tuple[Variable, CType]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return self.parent.globals.get(name)
+
+    def fresh_block(self, hint: str):
+        self._block_counter += 1
+        return self.builder.block(f"{hint}.{self._block_counter}")
+
+    # ------------------------------------------------------------------ body
+
+    def lower(self) -> None:
+        assert self.func_def is not None and self.function is not None
+        entry = self.function.add_block("entry")
+        self.builder.switch_to(entry)
+        # Parameters: spill into allocas so `&param` works; mem2reg will
+        # promote the ones whose address never escapes right back.
+        for param, param_var in zip(self.func_def.params, self.function.params):
+            assert param.ctype is not None
+            addr = self.declare_local(param.name, param.ctype, param)
+            self.builder.store(addr, param_var)
+        assert self.func_def.body is not None
+        self.lower_block(self.func_def.body)
+        # Terminate the fall-through block (implicit return) and any
+        # unreachable blocks produced by code after a return.
+        ret_type = self.parent.func_ret[self.func_def.name]
+        for block in self.function.blocks:
+            if not block.is_terminated():
+                self.builder.switch_to(block)
+                if ret_type is VOID_TYPE:
+                    self.builder.ret()
+                else:
+                    self.builder.ret(Constant(0, INT))
+
+    def lower_block(self, block: ast.Block) -> None:
+        self.push_scope()
+        for stmt in block.stmts:
+            self.lower_stmt(stmt)
+        self.pop_scope()
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if self.builder.current_block is not None and self.builder.current_block.is_terminated():
+            # Dead code after return/branch: park it in an unreachable block.
+            self.fresh_block("dead")
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            assert stmt.ctype is not None
+            addr = self.declare_local(stmt.name, stmt.ctype, stmt)
+            if stmt.init is not None:
+                value, __ = self.rvalue(stmt.init)
+                self.builder.store(addr, value)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self.rvalue(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise ParseError("break outside a loop", stmt.line, stmt.column)
+            self.builder.br(self._loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            if not self._loop_stack:
+                raise ParseError("continue outside a loop", stmt.line, stmt.column)
+            self.builder.br(self._loop_stack[-1][0])
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value, __ = self.rvalue(stmt.value)
+            self.builder.ret(value)
+        else:
+            raise ParseError(f"unsupported statement {type(stmt).__name__}", stmt.line, stmt.column)
+
+    def lower_if(self, stmt: ast.If) -> None:
+        assert stmt.cond is not None and stmt.then is not None
+        cond, __ = self.rvalue(stmt.cond)
+        cond_block = self.builder.current_block
+        then_block = self.fresh_block("if.then")
+        self.lower_stmt(stmt.then)
+        then_end = self.builder.current_block
+        else_block = None
+        else_end = None
+        if stmt.els is not None:
+            else_block = self.fresh_block("if.else")
+            self.lower_stmt(stmt.els)
+            else_end = self.builder.current_block
+        merge = self.fresh_block("if.end")
+
+        self.builder.switch_to(cond_block)
+        self.builder.cond_br(cond, then_block, else_block or merge)
+        if then_end is not None and not then_end.is_terminated():
+            self.builder.switch_to(then_end)
+            self.builder.br(merge)
+        if else_end is not None and not else_end.is_terminated():
+            self.builder.switch_to(else_end)
+            self.builder.br(merge)
+        self.builder.switch_to(merge)
+
+    def _new_block(self, hint: str):
+        """Create a block without switching the insertion point."""
+        self._block_counter += 1
+        assert self.builder.current_function is not None
+        return self.builder.current_function.add_block(f"{hint}.{self._block_counter}")
+
+    def lower_while(self, stmt: ast.While) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        header = self._new_block("while.cond")
+        body = self._new_block("while.body")
+        exit_block = self._new_block("while.end")
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(header)
+        self.builder.switch_to(header)
+        cond, __ = self.rvalue(stmt.cond)
+        self.builder.cond_br(cond, body, exit_block)
+        self.builder.switch_to(body)
+        self._loop_stack.append((header, exit_block))
+        self.lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(header)
+        self.builder.switch_to(exit_block)
+
+    def lower_do_while(self, stmt: ast.DoWhile) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        body = self._new_block("do.body")
+        latch = self._new_block("do.cond")
+        exit_block = self._new_block("do.end")
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(body)
+        self.builder.switch_to(body)
+        self._loop_stack.append((latch, exit_block))
+        self.lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(latch)
+        self.builder.switch_to(latch)
+        cond, __ = self.rvalue(stmt.cond)
+        self.builder.cond_br(cond, body, exit_block)
+        self.builder.switch_to(exit_block)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        assert stmt.body is not None
+        self.push_scope()
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self._new_block("for.cond")
+        body = self._new_block("for.body")
+        latch = self._new_block("for.step")  # `continue` lands here
+        exit_block = self._new_block("for.end")
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(header)
+        self.builder.switch_to(header)
+        if stmt.cond is not None:
+            cond, __ = self.rvalue(stmt.cond)
+        else:
+            cond = Constant(1, INT)
+        self.builder.cond_br(cond, body, exit_block)
+        self.builder.switch_to(body)
+        self._loop_stack.append((latch, exit_block))
+        self.lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.builder.current_block is not None \
+                and not self.builder.current_block.is_terminated():
+            self.builder.br(latch)
+        self.builder.switch_to(latch)
+        if stmt.step is not None:
+            self.rvalue(stmt.step, want_value=False)
+        self.builder.br(header)
+        self.builder.switch_to(exit_block)
+        self.pop_scope()
+
+    # ---------------------------------------------------------------- lvalues
+
+    def lvalue(self, expr: ast.Expr) -> Tuple[Operand, CType]:
+        """Lower *expr* as an lvalue: (address operand, type of stored value)."""
+        if isinstance(expr, ast.Ident):
+            entry = self.lookup(expr.name)
+            if entry is not None:
+                return entry
+            if expr.name in self.parent.functions:
+                raise ParseError(
+                    f"function {expr.name!r} is not an lvalue", expr.line, expr.column
+                )
+            raise ParseError(f"undeclared identifier {expr.name!r}", expr.line, expr.column)
+
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            assert expr.operand is not None
+            pointer, ptype = self.rvalue(expr.operand)
+            if isinstance(ptype, CPtr):
+                if ptype.pointee is VOID_TYPE:
+                    raise ParseError("cannot dereference void*", expr.line, expr.column)
+                return pointer, ptype.pointee
+            if isinstance(ptype, CArray):
+                return pointer, ptype.elem
+            raise ParseError(f"cannot dereference non-pointer ({ptype!r})", expr.line, expr.column)
+
+        if isinstance(expr, ast.Member):
+            assert expr.obj is not None
+            if expr.arrow:
+                base_ptr, ptype = self.rvalue(expr.obj)
+                if not isinstance(ptype, CPtr) or not isinstance(ptype.pointee, CStruct):
+                    raise ParseError("-> requires a struct pointer", expr.line, expr.column)
+                struct = ptype.pointee
+            else:
+                base_ptr, vtype = self.lvalue(expr.obj)
+                if not isinstance(vtype, CStruct):
+                    raise ParseError(". requires a struct value", expr.line, expr.column)
+                struct = vtype
+            offset = struct.field_offset(expr.name)
+            ftype = struct.field_type(expr.name)
+            if offset == 0:
+                return base_ptr, ftype  # first field aliases the base
+            return self.builder.field(base_ptr, offset), ftype
+
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None and expr.index is not None
+            self.rvalue(expr.index, want_value=False)  # evaluate for effects
+            base_type = self.static_type(expr.base)
+            if isinstance(base_type, CArray):
+                addr, atype = self.lvalue(expr.base)
+                assert isinstance(atype, CArray)
+                return addr, atype.elem  # collapsed element
+            pointer, ptype = self.rvalue(expr.base)
+            if isinstance(ptype, CPtr):
+                return pointer, ptype.pointee
+            raise ParseError("cannot index a non-pointer", expr.line, expr.column)
+
+        raise ParseError(
+            f"expression is not an lvalue ({type(expr).__name__})", expr.line, expr.column
+        )
+
+    def static_type(self, expr: ast.Expr) -> Optional[CType]:
+        """Best-effort static type of *expr* without emitting code."""
+        if isinstance(expr, ast.Ident):
+            entry = self.lookup(expr.name)
+            if entry is not None:
+                return entry[1]
+            if expr.name in self.parent.functions:
+                return FNPTR_TYPE
+            return None
+        if isinstance(expr, ast.Member):
+            assert expr.obj is not None
+            base = self.static_type(expr.obj)
+            if expr.arrow and isinstance(base, CPtr):
+                base = base.pointee
+            if isinstance(base, CStruct):
+                try:
+                    return base.field_type(expr.name)
+                except ParseError:
+                    return None
+            return None
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            assert expr.operand is not None
+            inner = self.static_type(expr.operand)
+            if isinstance(inner, CPtr):
+                return inner.pointee
+            return None
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None
+            base = self.static_type(expr.base)
+            if isinstance(base, CArray):
+                return base.elem
+            if isinstance(base, CPtr):
+                return base.pointee
+            return None
+        if isinstance(expr, ast.Cast):
+            return expr.ctype
+        return None
+
+    # ---------------------------------------------------------------- rvalues
+
+    def rvalue(self, expr: ast.Expr, want_value: bool = True) -> Tuple[Operand, CType]:
+        """Lower *expr* as an rvalue: (operand holding the value, its type)."""
+        if isinstance(expr, ast.IntLit):
+            return Constant(expr.value, INT), INT_TYPE
+        if isinstance(expr, ast.NullLit):
+            return Constant(0, INT), UNKNOWN_PTR
+
+        if isinstance(expr, ast.Ident):
+            if self.lookup(expr.name) is None and expr.name in self.parent.functions:
+                func = self.parent.functions[expr.name]
+                return self.builder.addr_of_function(func), FNPTR_TYPE
+            addr, ctype = self.lvalue(expr)
+            if isinstance(ctype, (CArray, CStruct)):
+                return addr, ctype  # decay / aggregate address
+            return self.builder.load(addr), ctype
+
+        if isinstance(expr, ast.Unary):
+            assert expr.operand is not None
+            if expr.op == "&":
+                operand = expr.operand
+                if isinstance(operand, ast.Ident) and self.lookup(operand.name) is None \
+                        and operand.name in self.parent.functions:
+                    func = self.parent.functions[operand.name]
+                    return self.builder.addr_of_function(func), FNPTR_TYPE
+                addr, ctype = self.lvalue(operand)
+                return addr, CPtr(ctype)
+            if expr.op == "*":
+                addr, ctype = self.lvalue(expr)
+                if isinstance(ctype, (CArray, CStruct)):
+                    return addr, ctype
+                return self.builder.load(addr), ctype
+            value, __ = self.rvalue(expr.operand)
+            return self.builder.binop(expr.op, Constant(0, INT), value), INT_TYPE
+
+        if isinstance(expr, ast.Binary):
+            assert expr.lhs is not None and expr.rhs is not None
+            lhs, ltype = self.rvalue(expr.lhs)
+            rhs, rtype = self.rvalue(expr.rhs)
+            if expr.op in ("==", "!=", "<", ">", "<=", ">="):
+                return self.builder.cmp(expr.op, lhs, rhs), INT_TYPE
+            # Pointer arithmetic (p + i) keeps pointing at the same abstract
+            # object (arrays are collapsed), so just forward the pointer.
+            if expr.op in ("+", "-") and ltype.is_pointer_like():
+                return lhs, ltype
+            if expr.op in ("+",) and rtype.is_pointer_like():
+                return rhs, rtype
+            return self.builder.binop(expr.op, lhs, rhs), INT_TYPE
+
+        if isinstance(expr, ast.Assign):
+            assert expr.target is not None and expr.value is not None
+            value, vtype = self.rvalue(expr.value)
+            addr, ttype = self.lvalue(expr.target)
+            self.builder.store(addr, value)
+            return value, ttype if ttype.is_pointer_like() else vtype
+
+        if isinstance(expr, ast.Member) or isinstance(expr, ast.Index):
+            addr, ctype = self.lvalue(expr)
+            if isinstance(ctype, (CArray, CStruct)):
+                return addr, ctype
+            return self.builder.load(addr), ctype
+
+        if isinstance(expr, ast.Malloc):
+            num_fields = 0
+            is_array = False
+            if isinstance(expr.ctype, CStruct):
+                num_fields = expr.ctype.flattened_size()
+            if isinstance(expr.ctype, CArray):
+                is_array = True
+            name = f"heap.l{expr.line}"
+            dst = self.builder.malloc(name, num_fields=num_fields)
+            obj = self.module.objects[-1]
+            obj.is_array = is_array
+            pointee: CType = expr.ctype if expr.ctype is not None else VOID_TYPE
+            return dst, CPtr(pointee) if not isinstance(pointee, CArray) else CPtr(pointee.elem)
+
+        if isinstance(expr, ast.Cast):
+            assert expr.operand is not None and expr.ctype is not None
+            value, __ = self.rvalue(expr.operand)
+            if expr.ctype.is_pointer_like():
+                if isinstance(value, Constant):
+                    return value, expr.ctype
+                return self.builder.copy(value), expr.ctype
+            return value, expr.ctype
+
+        if isinstance(expr, ast.Call):
+            return self.lower_call(expr, want_value)
+
+        raise ParseError(f"unsupported expression {type(expr).__name__}", expr.line, expr.column)
+
+    def lower_call(self, expr: ast.Call, want_value: bool) -> Tuple[Operand, CType]:
+        assert expr.callee is not None
+        args: List[Operand] = []
+        for arg in expr.args:
+            value, __ = self.rvalue(arg)
+            args.append(value)
+
+        # Direct call: callee is an identifier naming a function and not
+        # shadowed by a local/global variable.
+        if isinstance(expr.callee, ast.Ident) and self.lookup(expr.callee.name) is None:
+            name = expr.callee.name
+            if name not in self.parent.functions:
+                raise ParseError(f"call to undeclared function {name!r}", expr.line, expr.column)
+            func = self.parent.functions[name]
+            ret_type = self.parent.func_ret[name]
+            needs_result = want_value and ret_type is not VOID_TYPE
+            dst = self.builder.call(func, args, want_result=needs_result)
+            if dst is None:
+                return Constant(0, INT), VOID_TYPE
+            return dst, ret_type
+
+        callee_value, ctype = self.rvalue(expr.callee)
+        if not isinstance(ctype, (CFnPtr,)) and not ctype.is_pointer_like():
+            raise ParseError("called expression is not a function pointer", expr.line, expr.column)
+        dst = self.builder.call(callee_value, args, want_result=True)  # type: ignore[arg-type]
+        assert dst is not None
+        return dst, UNKNOWN_PTR

@@ -1,0 +1,95 @@
+"""An LLVM-like intermediate representation (Table I of the paper).
+
+The IR models exactly what a points-to analysis for C/C++ needs:
+
+- *Top-level variables* (:class:`~repro.ir.values.Variable`) are SSA
+  registers: stack temporaries, parameters and globals that are only ever
+  accessed by name.  After the ``mem2reg`` pass the module is in *partial SSA
+  form*: every top-level variable has one static definition.
+- *Address-taken objects* (:class:`~repro.ir.values.MemObject`) are the
+  abstract memory locations (stack slots, globals, heap allocations,
+  functions, and derived field objects) accessed only through ``LOAD`` and
+  ``STORE``.
+- The ten instruction kinds of the paper: ``ALLOC``, ``PHI``, ``MEMPHI``
+  (materialised later by memory SSA), ``CAST``/copy, ``FIELD``, ``LOAD``,
+  ``STORE``, ``CALL``, ``FUNENTRY`` and ``FUNEXIT``, plus the arithmetic and
+  control-flow instructions (``binop``, ``cmp``, ``br``) a real frontend
+  needs but the pointer analysis ignores.
+
+A module is built either through :class:`~repro.ir.builder.IRBuilder`, parsed
+from the textual syntax (:mod:`repro.ir.parser`), or produced by the mini-C
+frontend (:mod:`repro.frontend`).
+"""
+
+from repro.ir.types import (
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    INT,
+    PTR,
+    VOID,
+)
+from repro.ir.values import Constant, MemObject, ObjectKind, Value, Variable
+from repro.ir.instructions import (
+    AllocInst,
+    BinOpInst,
+    BranchInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    FieldInst,
+    FunEntryInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_module
+from repro.ir.parser import parse_module
+
+__all__ = [
+    "Type",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "FunctionType",
+    "VoidType",
+    "INT",
+    "PTR",
+    "VOID",
+    "Value",
+    "Variable",
+    "Constant",
+    "MemObject",
+    "ObjectKind",
+    "Instruction",
+    "AllocInst",
+    "CopyInst",
+    "PhiInst",
+    "FieldInst",
+    "LoadInst",
+    "StoreInst",
+    "CallInst",
+    "RetInst",
+    "BranchInst",
+    "BinOpInst",
+    "CmpInst",
+    "FunEntryInst",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "print_module",
+    "print_function",
+    "verify_module",
+    "parse_module",
+]

@@ -1,0 +1,193 @@
+"""A convenience builder for constructing IR programmatically.
+
+The builder keeps an insertion point (a basic block) and mints fresh
+temporaries and objects with readable names.  It is the API the mini-C
+frontend lowers through, and the easiest way to write IR in tests:
+
+>>> from repro.ir import IRBuilder, Module, PTR
+>>> module = Module("demo")
+>>> b = IRBuilder(module)
+>>> main = b.function("main")
+>>> b.block("entry")
+>>> p = b.alloca("x")          # %p = alloca_x ; pt(p) = {x}
+>>> q = b.malloc("h")          # heap object
+>>> b.store(p, q)              # *p = q
+>>> r = b.load(p)              # r = *p
+>>> __ = b.ret()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AllocInst,
+    BinOpInst,
+    BranchInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    FieldInst,
+    LoadInst,
+    Operand,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import INIT_FUNCTION, Module
+from repro.ir.types import INT, PTR, Type, VOID
+from repro.ir.values import Constant, MemObject, ObjectKind, Variable
+
+
+class IRBuilder:
+    """Stateful builder: create functions/blocks, then emit instructions."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.current_function: Optional[Function] = None
+        self.current_block: Optional[BasicBlock] = None
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------- structure
+
+    def function(
+        self,
+        name: str,
+        param_names: Sequence[str] = (),
+        ret_type: Type = VOID,
+        param_types: Optional[Sequence[Type]] = None,
+    ) -> Function:
+        """Create (and switch to) a new function; blocks come next."""
+        types = list(param_types) if param_types is not None else [PTR] * len(param_names)
+        params = [Variable(pname, ptype) for pname, ptype in zip(param_names, types)]
+        func = Function(name, params, ret_type)
+        self.module.add_function(func)
+        self.current_function = func
+        self.current_block = None
+        return func
+
+    def block(self, name: str) -> BasicBlock:
+        """Create (and switch to) a new block in the current function."""
+        if self.current_function is None:
+            raise IRError("no current function")
+        block = self.current_function.add_block(name)
+        self.current_block = block
+        return block
+
+    def switch_to(self, block: BasicBlock) -> None:
+        self.current_function = block.function
+        self.current_block = block
+
+    def fresh_var(self, hint: str = "t", type_: Type = PTR) -> Variable:
+        self._temp_counter += 1
+        return Variable(f"{hint}.{self._temp_counter}", type_)
+
+    def _emit(self, inst):
+        if self.current_block is None:
+            raise IRError("no current block")
+        self.current_block.append(inst)
+        return inst
+
+    # ----------------------------------------------------------- instructions
+
+    def alloca(self, obj_name: str, dst: Optional[Variable] = None, num_fields: int = 0) -> Variable:
+        """Stack allocation: ``dst = alloca_obj``."""
+        return self._alloc(obj_name, ObjectKind.STACK, dst, num_fields)
+
+    def malloc(self, obj_name: str, dst: Optional[Variable] = None, num_fields: int = 0) -> Variable:
+        """Heap allocation: ``dst = malloc_obj``."""
+        return self._alloc(obj_name, ObjectKind.HEAP, dst, num_fields)
+
+    def global_alloc(self, obj_name: str, dst: Optional[Variable] = None, num_fields: int = 0) -> Variable:
+        """Global object allocation (emitted inside ``__module_init__``)."""
+        return self._alloc(obj_name, ObjectKind.GLOBAL, dst, num_fields)
+
+    def _alloc(self, obj_name: str, kind: ObjectKind, dst: Optional[Variable], num_fields: int) -> Variable:
+        dst = dst or self.fresh_var(obj_name)
+        obj = self.module.new_object(obj_name, kind, num_fields=num_fields)
+        inst = self._emit(AllocInst(dst, obj))
+        obj.alloc_site = inst
+        return dst
+
+    def addr_of_function(self, func: Union[Function, str], dst: Optional[Variable] = None) -> Variable:
+        """``dst = &func`` — makes *func* address-taken."""
+        if isinstance(func, str):
+            func = self.module.get_function(func)
+        dst = dst or self.fresh_var(f"addr_{func.name}")
+        obj = self.module.function_object(func)
+        self._emit(AllocInst(dst, obj))
+        return dst
+
+    def copy(self, src: Operand, dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("cpy")
+        self._emit(CopyInst(dst, src))
+        return dst
+
+    def phi(self, incomings: Sequence[tuple], dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("phi")
+        self._emit(PhiInst(dst, list(incomings)))
+        return dst
+
+    def field(self, base: Operand, index: int, dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("fld")
+        self._emit(FieldInst(dst, base, index))
+        return dst
+
+    def load(self, ptr: Operand, dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("ld")
+        self._emit(LoadInst(dst, ptr))
+        return dst
+
+    def store(self, ptr: Operand, value: Operand) -> StoreInst:
+        return self._emit(StoreInst(ptr, value))
+
+    def call(
+        self,
+        callee: Union[Function, str, Variable],
+        args: Sequence[Operand] = (),
+        dst: Optional[Variable] = None,
+        want_result: bool = False,
+    ) -> Optional[Variable]:
+        if isinstance(callee, str):
+            callee = self.module.get_function(callee)
+        if dst is None and want_result:
+            dst = self.fresh_var("ret")
+        self._emit(CallInst(dst, callee, list(args)))
+        return dst
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("bin", INT)
+        self._emit(BinOpInst(dst, op, lhs, rhs))
+        return dst
+
+    def cmp(self, op: str, lhs: Operand, rhs: Operand, dst: Optional[Variable] = None) -> Variable:
+        dst = dst or self.fresh_var("cmp", INT)
+        self._emit(CmpInst(dst, op, lhs, rhs))
+        return dst
+
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self._emit(BranchInst([target]))
+
+    def cond_br(self, cond: Operand, then_block: BasicBlock, else_block: BasicBlock) -> BranchInst:
+        return self._emit(BranchInst([then_block, else_block], cond))
+
+    def ret(self, value: Optional[Operand] = None) -> RetInst:
+        return self._emit(RetInst(value))
+
+    def const(self, value: int, type_: Type = INT) -> Constant:
+        return Constant(value, type_)
+
+    # ---------------------------------------------------------------- helpers
+
+    def ensure_init_function(self) -> Function:
+        """Get or create ``__module_init__`` (allocates globals, calls main)."""
+        if INIT_FUNCTION in self.module.functions:
+            return self.module.functions[INIT_FUNCTION]
+        saved_function, saved_block = self.current_function, self.current_block
+        init = self.function(INIT_FUNCTION)
+        self.block("entry")
+        self.current_function, self.current_block = saved_function, saved_block
+        return init

@@ -1,0 +1,99 @@
+"""Functions: parameter list, basic blocks, and the synthetic FUNENTRY node."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.ir.instructions import FunEntryInst, Instruction, RetInst
+from repro.ir.types import FunctionType, PTR, Type, VOID
+from repro.ir.values import Variable
+
+if TYPE_CHECKING:
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.module import Module
+    from repro.ir.values import FunctionObject
+
+
+class Function:
+    """A function definition (or declaration, when it has no blocks).
+
+    Each function owns:
+
+    - :attr:`params` — top-level variables bound at calls;
+    - :attr:`entry_inst` — the unique ``FUNENTRY`` instruction, always the
+      first instruction of the entry block (inserted automatically);
+    - :attr:`blocks` — the CFG, whose first element is the entry block.
+
+    The unique ``FUNEXIT`` (a :class:`RetInst`) is guaranteed by the
+    unify-returns pass (:func:`repro.passes.unify_returns.unify_returns`).
+    """
+
+    def __init__(self, name: str, params: Optional[List[Variable]] = None, ret_type: Type = VOID):
+        from repro.ir.basicblock import BasicBlock
+
+        self.name = name
+        self.params: List[Variable] = params or []
+        self.ret_type = ret_type
+        self.type = FunctionType(ret_type, tuple(param.type for param in self.params))
+        self.module: Optional["Module"] = None
+        self.blocks: List[BasicBlock] = []
+        self._block_names: Dict[str, BasicBlock] = {}
+        self.entry_inst = FunEntryInst(self)
+        self.obj: Optional["FunctionObject"] = None  # set when address-taken
+        self.is_declaration = True
+
+    # ------------------------------------------------------------------ CFG
+
+    def add_block(self, name: str) -> "BasicBlock":
+        from repro.ir.basicblock import BasicBlock
+
+        if name in self._block_names:
+            raise ValueError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name, self)
+        if not self.blocks:
+            # The entry block starts with the FUNENTRY instruction.
+            block.instructions.append(self.entry_inst)
+            self.entry_inst.block = block
+            self.is_declaration = False
+        self.blocks.append(block)
+        self._block_names[name] = block
+        return block
+
+    def block(self, name: str) -> "BasicBlock":
+        return self._block_names[name]
+
+    @property
+    def entry_block(self) -> "BasicBlock":
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def exit_inst(self) -> Optional[RetInst]:
+        """The unique FUNEXIT instruction, or None for declarations.
+
+        Raises if the function still has multiple returns (run the
+        unify-returns pass first).
+        """
+        rets = [
+            inst
+            for block in self.blocks
+            for inst in block.instructions
+            if isinstance(inst, RetInst)
+        ]
+        if not rets:
+            return None
+        if len(rets) > 1:
+            raise ValueError(f"function {self.name} has {len(rets)} returns; run unify_returns")
+        return rets[0]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def remove_instruction(self, inst: Instruction) -> None:
+        assert inst.block is not None
+        inst.block.instructions.remove(inst)
+        inst.block = None
+
+    def __repr__(self) -> str:
+        return f"<function @{self.name}>"

@@ -1,0 +1,335 @@
+"""The instruction set (Table I of the paper, plus scalar/control glue).
+
+Pointer-relevant instructions:
+
+=============  ======================  =================================
+Class          Paper form              Meaning
+=============  ======================  =================================
+AllocInst      ``p = alloca_o``        take the address of object *o*
+PhiInst        ``p = phi(q, r)``       top-level join
+CopyInst       ``p = (t) q``           cast / copy
+FieldInst      ``p = &q->f_k``         address of field *k*
+LoadInst       ``p = *q``              read through a pointer
+StoreInst      ``*p = q``              write through a pointer
+CallInst       ``p = q(r...)``         direct or indirect call
+FunEntryInst   ``fun(r...)``           single entry of each function
+RetInst        ``ret_fun p``           single exit (FUNEXIT)
+=============  ======================  =================================
+
+``MEMPHI`` nodes are *not* IR instructions: they are synthesised by memory
+SSA (:mod:`repro.memssa`) and live only in the SVFG.
+
+Every instruction carries a module-unique integer :attr:`Instruction.id`
+(the paper's label ℓ) once its function is attached to a module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.ir.values import Constant, Value, Variable
+
+if TYPE_CHECKING:
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.function import Function
+    from repro.ir.values import MemObject
+
+Operand = Union[Variable, Constant]
+
+
+class Instruction:
+    """Base class for all IR instructions."""
+
+    __slots__ = ("id", "block")
+
+    def __init__(self) -> None:
+        self.id = -1
+        self.block: Optional["BasicBlock"] = None
+
+    @property
+    def function(self) -> "Function":
+        assert self.block is not None, "instruction not inserted in a block"
+        return self.block.function
+
+    def operands(self) -> List[Value]:
+        """Operand values read by this instruction (excludes results)."""
+        return []
+
+    def result(self) -> Optional[Variable]:
+        """The top-level variable defined by this instruction, if any."""
+        return None
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        """Substitute operand *old* with *new* (used by mem2reg renaming)."""
+        raise NotImplementedError(f"{type(self).__name__} has no replaceable operands")
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import format_instruction
+
+        return format_instruction(self)
+
+
+class AllocInst(Instruction):
+    """``p = alloca_o`` — *p* now points to abstract object *o*.
+
+    Used uniformly for stack slots, globals, heap allocations (``malloc``)
+    and taking a function's address; the distinction lives in ``obj.kind``.
+    """
+
+    __slots__ = ("dst", "obj")
+
+    def __init__(self, dst: Variable, obj: "MemObject"):
+        super().__init__()
+        self.dst = dst
+        self.obj = obj
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        pass  # no variable operands
+
+
+class CopyInst(Instruction):
+    """``p = (t) q`` — cast or plain copy; points-to set flows q → p."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Variable, src: Operand):
+        super().__init__()
+        self.dst = dst
+        self.src = src
+
+    def operands(self) -> List[Value]:
+        return [self.src]
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.src is old:
+            self.src = new  # type: ignore[assignment]
+
+
+class PhiInst(Instruction):
+    """``p = phi(q, r, ...)`` — top-level join; one incoming per CFG pred."""
+
+    __slots__ = ("dst", "incomings")
+
+    def __init__(self, dst: Variable, incomings: Optional[List[Tuple["BasicBlock", Operand]]] = None):
+        super().__init__()
+        self.dst = dst
+        self.incomings: List[Tuple["BasicBlock", Operand]] = incomings or []
+
+    def add_incoming(self, block: "BasicBlock", value: Operand) -> None:
+        self.incomings.append((block, value))
+
+    def operands(self) -> List[Value]:
+        return [value for __, value in self.incomings]
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        self.incomings = [
+            (block, new if value is old else value)  # type: ignore[misc]
+            for block, value in self.incomings
+        ]
+
+
+class FieldInst(Instruction):
+    """``p = &q->f_k`` — address of field *k* of whatever *q* points to."""
+
+    __slots__ = ("dst", "base", "field")
+
+    def __init__(self, dst: Variable, base: Operand, field: int):
+        super().__init__()
+        self.dst = dst
+        self.base = base
+        self.field = field
+
+    def operands(self) -> List[Value]:
+        return [self.base]
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.base is old:
+            self.base = new  # type: ignore[assignment]
+
+
+class LoadInst(Instruction):
+    """``p = *q`` — may be annotated with μ(o) by memory SSA."""
+
+    __slots__ = ("dst", "ptr")
+
+    def __init__(self, dst: Variable, ptr: Operand):
+        super().__init__()
+        self.dst = dst
+        self.ptr = ptr
+
+    def operands(self) -> List[Value]:
+        return [self.ptr]
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.ptr is old:
+            self.ptr = new  # type: ignore[assignment]
+
+
+class StoreInst(Instruction):
+    """``*p = q`` — may be annotated with o = χ(o) by memory SSA."""
+
+    __slots__ = ("ptr", "value")
+
+    def __init__(self, ptr: Operand, value: Operand):
+        super().__init__()
+        self.ptr = ptr
+        self.value = value
+
+    def operands(self) -> List[Value]:
+        return [self.ptr, self.value]
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.ptr is old:
+            self.ptr = new  # type: ignore[assignment]
+        if self.value is old:
+            self.value = new  # type: ignore[assignment]
+
+
+class CallInst(Instruction):
+    """``p = q(r1, ..., rn)`` — *callee* is a Function (direct) or a
+    top-level Variable (indirect; resolved on the fly during solving)."""
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(
+        self,
+        dst: Optional[Variable],
+        callee: Union["Function", Operand],
+        args: Sequence[Operand] = (),
+    ):
+        super().__init__()
+        self.dst = dst
+        self.callee = callee
+        self.args: List[Operand] = list(args)
+
+    def is_indirect(self) -> bool:
+        return isinstance(self.callee, (Variable, Constant))
+
+    def operands(self) -> List[Value]:
+        ops: List[Value] = list(self.args)
+        if self.is_indirect():
+            ops.append(self.callee)  # type: ignore[arg-type]
+        return ops
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        self.args = [new if arg is old else arg for arg in self.args]  # type: ignore[misc]
+        if self.is_indirect() and self.callee is old:
+            self.callee = new  # type: ignore[assignment]
+
+
+class FunEntryInst(Instruction):
+    """``fun(r1, ..., rn)`` — the unique entry of a function.
+
+    Memory SSA attaches entry-χ annotations here; the SVFG's interprocedural
+    indirect edges target this node.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: "Function"):
+        super().__init__()
+        self.func = func
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        pass
+
+
+class RetInst(Instruction):
+    """``ret_fun p`` — the FUNEXIT instruction; unique after unify-returns."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Operand] = None):
+        super().__init__()
+        self.value = value
+
+    def operands(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.value is old:
+            self.value = new  # type: ignore[assignment]
+
+
+class BranchInst(Instruction):
+    """``br cond, then, else`` or ``br target`` — CFG terminator.
+
+    The condition is opaque to the pointer analysis; both successors are
+    always considered feasible.
+    """
+
+    __slots__ = ("cond", "targets")
+
+    def __init__(self, targets: Sequence["BasicBlock"], cond: Optional[Operand] = None):
+        super().__init__()
+        self.cond = cond
+        self.targets: List["BasicBlock"] = list(targets)
+        if cond is None and len(self.targets) != 1:
+            raise ValueError("unconditional branch takes exactly one target")
+        if cond is not None and len(self.targets) != 2:
+            raise ValueError("conditional branch takes exactly two targets")
+
+    def operands(self) -> List[Value]:
+        return [self.cond] if self.cond is not None else []
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.cond is old:
+            self.cond = new  # type: ignore[assignment]
+
+
+class BinOpInst(Instruction):
+    """``p = q <op> r`` — integer arithmetic; irrelevant to points-to."""
+
+    __slots__ = ("dst", "op", "lhs", "rhs")
+
+    def __init__(self, dst: Variable, op: str, lhs: Operand, rhs: Operand):
+        super().__init__()
+        self.dst = dst
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def result(self) -> Optional[Variable]:
+        return self.dst
+
+    def replace_uses(self, old: Value, new: Value) -> None:
+        if self.lhs is old:
+            self.lhs = new  # type: ignore[assignment]
+        if self.rhs is old:
+            self.rhs = new  # type: ignore[assignment]
+
+
+class CmpInst(BinOpInst):
+    """``p = q <cmp> r`` — comparison producing an integer flag."""
+
+    __slots__ = ()

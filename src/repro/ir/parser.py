@@ -1,0 +1,389 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+The textual form makes analysis test cases readable and diffable::
+
+    func @main() {
+    entry:
+      %p = alloca x
+      %q = malloc h
+      store %p, %q
+      %r = load %p
+      ret
+    }
+
+Names: ``%x`` is a function-local top-level variable, ``@g`` a module-level
+one (or a function, in ``funaddr``/``call`` position), bare words name
+abstract objects, and integers are constants.  Comments run from ``;`` to end
+of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AllocInst,
+    BinOpInst,
+    BranchInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    FieldInst,
+    LoadInst,
+    Operand,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.ir.types import INT, PTR
+from repro.ir.values import Constant, ObjectKind, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|;[^\n]*)
+  | (?P<local>%[A-Za-z_.][\w.]*)
+  | (?P<global>@[A-Za-z_.][\w.]*)
+  | (?P<int>-?\d+)
+  | (?P<word>[A-Za-z_.][\w.]*)
+  | (?P<opname>==|!=|<=|>=|&&|\|\||[-+*/%<>!&|^~])  # binop/cmp operators
+  | (?P<punct>[{}()\[\]:,=])
+    """,
+    re.VERBOSE,
+)
+
+_ALLOC_KINDS = {
+    "alloca": ObjectKind.STACK,
+    "global_alloc": ObjectKind.GLOBAL,
+    "malloc": ObjectKind.HEAP,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, pos - line_start + 1)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, text, line, match.start() - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str, module_name: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.module = Module(module_name)
+        # module-level (@-prefixed) variables that are not functions
+        self.global_vars: Dict[str, Variable] = {}
+
+    # --------------------------------------------------------------- cursor
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.text!r}", token.line, token.column)
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    # --------------------------------------------------------------- grammar
+
+    def parse(self) -> Module:
+        # Pre-pass: register every function name so calls can be resolved
+        # regardless of definition order.
+        for index, token in enumerate(self.tokens):
+            if token.kind == "word" and token.text in ("func", "declare"):
+                name_token = self.tokens[index + 1]
+                if name_token.kind == "global":
+                    name = name_token.text[1:]
+                    if name not in self.module.functions:
+                        self.module.add_function(Function(name))
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind == "word" and token.text == "func":
+                self.parse_function()
+            elif token.kind == "word" and token.text == "declare":
+                self.parse_declaration()
+            else:
+                raise ParseError(f"expected 'func' or 'declare', found {token.text!r}",
+                                 token.line, token.column)
+        self.module.renumber()
+        return self.module
+
+    def parse_declaration(self) -> None:
+        self.expect("word", "declare")
+        name = self.expect("global").text[1:]
+        func = self.module.functions[name]
+        self.expect("punct", "(")
+        params = self.parse_param_names()
+        func.params = [Variable(pname) for pname in params]
+        func.type = None  # declarations carry no meaningful type here
+
+    def parse_function(self) -> None:
+        self.expect("word", "func")
+        name = self.expect("global").text[1:]
+        func = self.module.functions[name]
+        self.expect("punct", "(")
+        locals_map: Dict[str, Variable] = {}
+        param_names = self.parse_param_names()
+        func.params = []
+        for pname in param_names:
+            param = Variable(pname)
+            func.params.append(param)
+            locals_map["%" + pname] = param
+        self.expect("punct", "{")
+
+        # Blocks are created lazily: the first reference (label definition or
+        # branch target) creates the block; phi incomings resolve at the end
+        # and blocks are re-ordered to source (label-definition) order so the
+        # printer round-trips exactly.
+        blocks: Dict[str, BasicBlock] = {}
+        label_order: List[str] = []
+        current_block: Optional[BasicBlock] = None
+        pending_branches: List[Tuple[BranchInst, List[str]]] = []
+        pending_phis: List[Tuple[PhiInst, List[Tuple[str, Operand]]]] = []
+
+        def get_block(label: str) -> BasicBlock:
+            if label not in blocks:
+                blocks[label] = func.add_block(label)
+            return blocks[label]
+
+        while not self.accept("punct", "}"):
+            token = self.peek()
+            if token.kind == "word" and self.tokens[self.pos + 1].text == ":" \
+                    and self.tokens[self.pos + 1].kind == "punct":
+                label = self.next().text
+                self.next()  # ':'
+                current_block = get_block(label)
+                label_order.append(label)
+                continue
+            if current_block is None:
+                raise ParseError("instruction outside any block", token.line, token.column)
+            self.parse_instruction(func, current_block, locals_map, get_block,
+                                   pending_branches, pending_phis)
+
+        for phi, incomings in pending_phis:
+            for label, value in incomings:
+                if label not in blocks:
+                    raise ParseError(f"phi references unknown block {label!r}")
+                phi.add_incoming(blocks[label], value)
+
+        # Restore source order (forward branch targets were created early).
+        rank = {label: index for index, label in enumerate(label_order)}
+        func.blocks.sort(key=lambda block: rank.get(block.name, len(rank)))
+
+    def parse_param_names(self) -> List[str]:
+        names: List[str] = []
+        if not self.accept("punct", ")"):
+            while True:
+                names.append(self.expect("local").text[1:])
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        return names
+
+    # ----------------------------------------------------------- instructions
+
+    def get_local(self, locals_map: Dict[str, Variable], text: str) -> Variable:
+        var = locals_map.get(text)
+        if var is None:
+            var = Variable(text[1:])
+            locals_map[text] = var
+        return var
+
+    def get_global_var(self, text: str) -> Variable:
+        name = text[1:]
+        if name in self.module.functions:
+            raise ParseError(f"@{name} names a function; use funaddr/call")
+        var = self.global_vars.get(name)
+        if var is None:
+            var = Variable(name, is_global=True)
+            self.global_vars[name] = var
+        return var
+
+    def parse_value(self, locals_map: Dict[str, Variable]) -> Operand:
+        token = self.next()
+        if token.kind == "local":
+            return self.get_local(locals_map, token.text)
+        if token.kind == "global":
+            return self.get_global_var(token.text)
+        if token.kind == "int":
+            return Constant(int(token.text), INT)
+        raise ParseError(f"expected a value, found {token.text!r}", token.line, token.column)
+
+    def parse_instruction(
+        self,
+        func: Function,
+        block: BasicBlock,
+        locals_map: Dict[str, Variable],
+        get_block,
+        pending_branches,
+        pending_phis,
+    ) -> None:
+        token = self.peek()
+
+        # Result-producing form: %x = <op> ... , or @g = <op> ...
+        if token.kind in ("local", "global"):
+            dst_token = self.next()
+            self.expect("punct", "=")
+            if dst_token.kind == "local":
+                dst = self.get_local(locals_map, dst_token.text)
+            else:
+                dst = self.get_global_var(dst_token.text)
+            op = self.expect("word").text
+            if op in _ALLOC_KINDS:
+                obj_name = self.expect("word").text
+                num_fields = 0
+                if self.accept("punct", ","):
+                    self.expect("word", "fields")
+                    num_fields = int(self.expect("int").text)
+                obj = self.module.new_object(obj_name, _ALLOC_KINDS[op], num_fields=num_fields)
+                inst = AllocInst(dst, obj)
+                obj.alloc_site = inst
+                block.append(inst)
+            elif op == "funaddr":
+                target = self.expect("global").text[1:]
+                callee = self.module.get_function(target)
+                block.append(AllocInst(dst, self.module.function_object(callee)))
+            elif op == "copy":
+                block.append(CopyInst(dst, self.parse_value(locals_map)))
+            elif op == "load":
+                block.append(LoadInst(dst, self.parse_value(locals_map)))
+            elif op == "field":
+                base = self.parse_value(locals_map)
+                self.expect("punct", ",")
+                index = int(self.expect("int").text)
+                block.append(FieldInst(dst, base, index))
+            elif op == "phi":
+                phi = PhiInst(dst)
+                incomings: List[Tuple[str, Operand]] = []
+                while self.accept("punct", "["):
+                    label = self.expect("word").text
+                    self.expect("punct", ":")
+                    value = self.parse_value(locals_map)
+                    self.expect("punct", "]")
+                    incomings.append((label, value))
+                    if not self.accept("punct", ","):
+                        break
+                block.append(phi)
+                pending_phis.append((phi, incomings))
+            elif op == "call":
+                self.parse_call(block, locals_map, dst)
+            elif op in ("binop", "cmp"):
+                op_token = self.next()
+                if op_token.kind not in ("word", "opname"):
+                    raise ParseError(f"expected an operator, found {op_token.text!r}",
+                                     op_token.line, op_token.column)
+                lhs = self.parse_value(locals_map)
+                self.expect("punct", ",")
+                rhs = self.parse_value(locals_map)
+                cls = CmpInst if op == "cmp" else BinOpInst
+                block.append(cls(dst, op_token.text, lhs, rhs))
+            else:
+                raise ParseError(f"unknown operation {op!r}", token.line, token.column)
+            return
+
+        op = self.expect("word").text
+        if op == "store":
+            ptr = self.parse_value(locals_map)
+            self.expect("punct", ",")
+            value = self.parse_value(locals_map)
+            block.append(StoreInst(ptr, value))
+        elif op == "call":
+            self.parse_call(block, locals_map, None)
+        elif op == "ret":
+            nxt = self.peek()
+            if nxt.kind in ("local", "global", "int"):
+                block.append(RetInst(self.parse_value(locals_map)))
+            else:
+                block.append(RetInst())
+        elif op == "br":
+            nxt = self.peek()
+            if nxt.kind == "word":  # unconditional: br label
+                label = self.next().text
+                block.append(BranchInst([get_block(label)]))
+            else:
+                cond = self.parse_value(locals_map)
+                self.expect("punct", ",")
+                then_label = self.expect("word").text
+                self.expect("punct", ",")
+                else_label = self.expect("word").text
+                block.append(BranchInst([get_block(then_label), get_block(else_label)], cond))
+        else:
+            raise ParseError(f"unknown instruction {op!r}", token.line, token.column)
+
+    def parse_call(self, block: BasicBlock, locals_map: Dict[str, Variable],
+                   dst: Optional[Variable]) -> None:
+        token = self.next()
+        callee: object
+        if token.kind == "global":
+            name = token.text[1:]
+            if name in self.module.functions:
+                callee = self.module.functions[name]
+            else:
+                callee = self.get_global_var(token.text)
+        elif token.kind == "local":
+            callee = self.get_local(locals_map, token.text)
+        else:
+            raise ParseError(f"expected call target, found {token.text!r}",
+                             token.line, token.column)
+        self.expect("punct", "(")
+        args: List[Operand] = []
+        if not self.accept("punct", ")"):
+            while True:
+                args.append(self.parse_value(locals_map))
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        block.append(CallInst(dst, callee, args))
+
+
+def parse_module(source: str, name: str = "parsed") -> Module:
+    """Parse textual IR into a :class:`~repro.ir.module.Module`.
+
+    The result is renumbered but not verified; call
+    :func:`repro.ir.verifier.verify_module` for structural checks.
+    """
+    return _Parser(source, name).parse()

@@ -1,0 +1,109 @@
+"""Textual rendering of IR, round-trippable through :mod:`repro.ir.parser`.
+
+The syntax mirrors the paper's notation where readable and LLVM where not::
+
+    func @swap(%p, %q) {
+    entry:
+      %x = load %p
+      %y = load %q
+      store %p, %y
+      store %q, %x
+      ret
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    AllocInst,
+    BinOpInst,
+    BranchInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    FieldInst,
+    FunEntryInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import ObjectKind
+
+_ALLOC_KEYWORD = {
+    ObjectKind.STACK: "alloca",
+    ObjectKind.GLOBAL: "global_alloc",
+    ObjectKind.HEAP: "malloc",
+    ObjectKind.FUNCTION: "funaddr",
+    ObjectKind.FIELD: "fieldobj",  # never emitted by frontends
+}
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line textual form of *inst* (without label or indentation)."""
+    if isinstance(inst, AllocInst):
+        if inst.obj.kind is ObjectKind.FUNCTION:
+            from repro.ir.values import FunctionObject
+
+            assert isinstance(inst.obj, FunctionObject)
+            return f"{inst.dst!r} = funaddr @{inst.obj.function.name}"
+        keyword = _ALLOC_KEYWORD[inst.obj.kind]
+        suffix = f", fields {inst.obj.num_fields}" if inst.obj.num_fields else ""
+        return f"{inst.dst!r} = {keyword} {inst.obj.name}{suffix}"
+    if isinstance(inst, CopyInst):
+        return f"{inst.dst!r} = copy {inst.src!r}"
+    if isinstance(inst, PhiInst):
+        incomings = ", ".join(f"[{block.name}: {value!r}]" for block, value in inst.incomings)
+        return f"{inst.dst!r} = phi {incomings}"
+    if isinstance(inst, FieldInst):
+        return f"{inst.dst!r} = field {inst.base!r}, {inst.field}"
+    if isinstance(inst, LoadInst):
+        return f"{inst.dst!r} = load {inst.ptr!r}"
+    if isinstance(inst, StoreInst):
+        return f"store {inst.ptr!r}, {inst.value!r}"
+    if isinstance(inst, CallInst):
+        target = f"@{inst.callee.name}" if not inst.is_indirect() else repr(inst.callee)
+        args = ", ".join(repr(arg) for arg in inst.args)
+        prefix = f"{inst.dst!r} = " if inst.dst is not None else ""
+        return f"{prefix}call {target}({args})"
+    if isinstance(inst, RetInst):
+        return f"ret {inst.value!r}" if inst.value is not None else "ret"
+    if isinstance(inst, BranchInst):
+        if inst.cond is None:
+            return f"br {inst.targets[0].name}"
+        return f"br {inst.cond!r}, {inst.targets[0].name}, {inst.targets[1].name}"
+    if isinstance(inst, CmpInst):
+        return f"{inst.dst!r} = cmp {inst.op} {inst.lhs!r}, {inst.rhs!r}"
+    if isinstance(inst, BinOpInst):
+        return f"{inst.dst!r} = binop {inst.op} {inst.lhs!r}, {inst.rhs!r}"
+    if isinstance(inst, FunEntryInst):
+        params = ", ".join(repr(param) for param in inst.func.params)
+        return f"funentry({params})"
+    return f"<unknown {type(inst).__name__}>"
+
+
+def print_function(function: Function, show_labels: bool = False) -> str:
+    params = ", ".join(repr(param) for param in function.params)
+    if function.is_declaration:
+        return f"declare @{function.name}({params})\n"
+    lines: List[str] = [f"func @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            if isinstance(inst, FunEntryInst) and not show_labels:
+                continue  # implicit in the textual form
+            label = f"  ; l{inst.id}" if show_labels and inst.id >= 0 else ""
+            lines.append(f"  {format_instruction(inst)}{label}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def print_module(module: Module, show_labels: bool = False) -> str:
+    parts = [f"; module {module.name}"]
+    parts.extend(print_function(func, show_labels) for func in module.functions.values())
+    return "\n".join(parts)

@@ -1,0 +1,151 @@
+"""Values: top-level variables, constants, and abstract memory objects.
+
+Following Table I of the paper, the variable universe splits into
+
+- ``P`` (top-level variables): :class:`Variable` — accessed by name only,
+  single static definition after partial SSA;
+- ``A`` (address-taken objects): :class:`MemObject` — accessed only through
+  ``LOAD``/``STORE`` via a top-level pointer.
+
+Every :class:`Variable` and :class:`MemObject` receives a dense integer id
+from its owning :class:`~repro.ir.module.Module`, which is what the solvers
+index bit sets with.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.ir.types import PTR, Type
+
+if TYPE_CHECKING:
+    from repro.ir.function import Function
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type_: Type):
+        self.type = type_
+
+
+class Constant(Value):
+    """A compile-time constant (integer or null pointer).
+
+    Constants never point to anything, so the pointer analysis skips them.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, type_: Type):
+        super().__init__(type_)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Variable(Value):
+    """A top-level variable (SSA register, parameter, or global pointer).
+
+    ``id`` is assigned by the owning module; -1 until registered.
+    """
+
+    __slots__ = ("name", "id", "is_global")
+
+    def __init__(self, name: str, type_: Type = PTR, is_global: bool = False):
+        super().__init__(type_)
+        self.name = name
+        self.id = -1
+        self.is_global = is_global
+
+    def __repr__(self) -> str:
+        prefix = "@" if self.is_global else "%"
+        return f"{prefix}{self.name}"
+
+
+class ObjectKind(enum.Enum):
+    """Where an abstract object lives; drives singleton/strong-update logic."""
+
+    STACK = "stack"
+    GLOBAL = "global"
+    HEAP = "heap"
+    FUNCTION = "function"
+    FIELD = "field"
+
+
+class MemObject:
+    """An abstract address-taken memory object.
+
+    One :class:`MemObject` may summarise many runtime objects (a heap object
+    allocated in a loop, a stack slot of a recursive function).  The solvers
+    may only *strong-update* objects proven to be singletons
+    (:attr:`is_singleton`, the paper's ``SN`` set); the flag is refined by
+    :func:`repro.passes.singletons.mark_singletons`.
+
+    Field objects (``FIELD`` kind) are derived lazily from a base object and
+    a flattened field offset.  Per the paper's ``FIELD-ADDR`` rules, the base
+    of a field object is never itself a field object: taking field *j* of
+    field object ``o.f_i`` yields ``o.f_{i+j}``.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "id",
+        "base",
+        "offset",
+        "is_singleton",
+        "alloc_site",
+        "num_fields",
+        "is_array",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: ObjectKind,
+        base: Optional["MemObject"] = None,
+        offset: int = 0,
+        alloc_site: Optional[object] = None,
+        num_fields: int = 0,
+        is_array: bool = False,
+    ):
+        self.name = name
+        self.kind = kind
+        self.id = -1
+        self.base = base
+        self.offset = offset
+        # Conservative default: nothing is a singleton until a pass proves it.
+        self.is_singleton = False
+        self.alloc_site = alloc_site
+        self.num_fields = num_fields
+        # Arrays are summarised by one abstract object, so a store through an
+        # index must never strong-update them.
+        self.is_array = is_array
+
+    def is_field(self) -> bool:
+        return self.kind is ObjectKind.FIELD
+
+    def is_function(self) -> bool:
+        return self.kind is ObjectKind.FUNCTION
+
+    def base_object(self) -> "MemObject":
+        """The root (non-field) object this object belongs to."""
+        return self.base if self.base is not None else self
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class FunctionObject(MemObject):
+    """The address-taken object standing for a function (``&f``)."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: "Function"):
+        super().__init__(f"fun:{function.name}", ObjectKind.FUNCTION)
+        self.function = function

@@ -1,0 +1,111 @@
+"""Structural well-formedness checks for IR modules.
+
+The verifier enforces the invariants the analyses rely on:
+
+- every block of a defined function ends in exactly one terminator;
+- branch targets belong to the same function;
+- ``PHI`` incomings name actual CFG predecessors, one per predecessor;
+- direct calls pass as many arguments as the callee declares parameters
+  (varargs are not modelled);
+- in *partial SSA* mode (``ssa=True``, i.e. after mem2reg), every top-level
+  variable has at most one static definition, and the entry block has the
+  ``FUNENTRY`` instruction first.
+
+Raises :class:`repro.errors.IRError` listing every violation found.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.instructions import BranchInst, CallInst, FunEntryInst, PhiInst, RetInst
+from repro.ir.module import Module
+from repro.ir.values import Variable
+
+
+def verify_function(function: Function, ssa: bool = False) -> List[str]:
+    """Return a list of violation messages for *function* (empty if OK)."""
+    problems: List[str] = []
+    if function.is_declaration:
+        return problems
+    name = function.name
+
+    if not function.blocks:
+        problems.append(f"@{name}: defined function with no blocks")
+        return problems
+    first = function.entry_block.instructions[0] if function.entry_block.instructions else None
+    if not isinstance(first, FunEntryInst):
+        problems.append(f"@{name}: entry block must start with FUNENTRY")
+
+    block_set = set(function.blocks)
+    preds: Dict[object, List[object]] = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        term = block.terminator()
+        if term is None:
+            problems.append(f"@{name}:{block.name}: block is not terminated")
+            continue
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator():
+                problems.append(f"@{name}:{block.name}: terminator not at block end")
+        if isinstance(term, BranchInst):
+            for target in term.targets:
+                if target not in block_set:
+                    problems.append(f"@{name}:{block.name}: branch to foreign block {target.name}")
+                else:
+                    preds[target].append(block)
+
+    for block in function.blocks:
+        pred_set = set(preds[block])
+        for phi in block.phis():
+            incoming_blocks = [inc_block for inc_block, __ in phi.incomings]
+            if len(set(incoming_blocks)) != len(incoming_blocks):
+                problems.append(f"@{name}:{block.name}: phi has duplicate incoming blocks")
+            for inc_block in incoming_blocks:
+                if inc_block not in pred_set:
+                    problems.append(
+                        f"@{name}:{block.name}: phi incoming from non-predecessor {inc_block.name}"
+                    )
+            if pred_set and set(incoming_blocks) != pred_set:
+                missing = {pred.name for pred in pred_set} - {blk.name for blk in incoming_blocks}
+                if missing:
+                    problems.append(
+                        f"@{name}:{block.name}: phi missing incomings for {sorted(missing)}"
+                    )
+
+    for inst in function.instructions():
+        if isinstance(inst, CallInst) and not inst.is_indirect():
+            callee = inst.callee
+            if not callee.is_declaration and len(inst.args) != len(callee.params):
+                problems.append(
+                    f"@{name}: call to @{callee.name} passes {len(inst.args)} args, "
+                    f"expected {len(callee.params)}"
+                )
+
+    if ssa:
+        defined: Dict[Variable, int] = {}
+        for param in function.params:
+            defined[param] = defined.get(param, 0) + 1
+        for inst in function.instructions():
+            result = inst.result()
+            if result is not None:
+                defined[result] = defined.get(result, 0) + 1
+        for var, count in defined.items():
+            if count > 1:
+                problems.append(f"@{name}: variable {var!r} has {count} definitions (not SSA)")
+
+    return problems
+
+
+def verify_module(module: Module, ssa: bool = False) -> None:
+    """Verify every function; raise :class:`IRError` on any violation."""
+    problems: List[str] = []
+    seen_globals: Dict[str, Function] = {}
+    for function in module.functions.values():
+        problems.extend(verify_function(function, ssa=ssa))
+        rets = [inst for inst in function.instructions() if isinstance(inst, RetInst)]
+        if not function.is_declaration and not rets:
+            problems.append(f"@{function.name}: no return instruction")
+    if problems:
+        raise IRError("module verification failed:\n  " + "\n  ".join(problems))

@@ -1,0 +1,20 @@
+"""Memory SSA construction (§II-B).
+
+Converts address-taken objects to SSA form so the SVFG can connect each
+indirect *definition* of an object to exactly its potential *uses*:
+
+- every ``STORE`` that may write ``o`` gets ``o₂ = χ(o₁)``;
+- every ``LOAD`` that may read ``o`` gets ``μ(o)``;
+- every call site gets ``μ(o)`` for objects its (Andersen-)potential callees
+  may use and ``o₂ = χ(o₁)`` for objects they may modify;
+- ``FUNENTRY`` gets χ annotations (receiving objects from callers) and
+  ``FUNEXIT`` μ annotations (returning modified objects);
+- ``MEMPHI`` pseudo-instructions are inserted at the iterated dominance
+  frontier of each object's definition blocks, then versions are assigned
+  by a dominator-tree renaming walk.
+"""
+
+from repro.memssa.annotations import Chi, MemPhi, Mu
+from repro.memssa.builder import MemSSA, build_memssa
+
+__all__ = ["Chi", "Mu", "MemPhi", "MemSSA", "build_memssa"]

@@ -1,0 +1,69 @@
+"""μ/χ annotations and MEMPHI pseudo-instructions.
+
+A *version* is an integer unique per ``(function, object)``; the pair
+``(object, version)`` identifies one SSA name of that object inside one
+function.  Interprocedural flow is not version-linked — the SVFG connects
+call-site μ to callee entry-χ (and callee exit-μ to call-site χ) directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.ir.values import MemObject
+
+if TYPE_CHECKING:
+    from repro.ir.basicblock import BasicBlock
+
+
+class Mu:
+    """``μ(o)`` — a use of version *ver* of object *obj*."""
+
+    __slots__ = ("obj", "ver")
+
+    def __init__(self, obj: MemObject, ver: int = -1):
+        self.obj = obj
+        self.ver = ver
+
+    def __repr__(self) -> str:
+        return f"mu({self.obj.name}_{self.ver})"
+
+
+class Chi:
+    """``o₂ = χ(o₁)`` — defines version *new_ver*, observing *old_ver*.
+
+    ``old_ver`` is -1 for entry-χ (the incoming value arrives from call
+    sites, interprocedurally, not from a local version).
+    """
+
+    __slots__ = ("obj", "new_ver", "old_ver")
+
+    def __init__(self, obj: MemObject, new_ver: int = -1, old_ver: int = -1):
+        self.obj = obj
+        self.new_ver = new_ver
+        self.old_ver = old_ver
+
+    def __repr__(self) -> str:
+        old = f"{self.obj.name}_{self.old_ver}" if self.old_ver >= 0 else "entry"
+        return f"{self.obj.name}_{self.new_ver} = chi({old})"
+
+
+class MemPhi:
+    """``o₃ = φ(o₁, o₂)`` — selects an object version at a CFG join.
+
+    Not an IR instruction: it lives beside *block* and becomes its own SVFG
+    node.  ``incomings`` maps each predecessor block to the version arriving
+    along that edge.
+    """
+
+    __slots__ = ("obj", "block", "new_ver", "incomings")
+
+    def __init__(self, obj: MemObject, block: "BasicBlock"):
+        self.obj = obj
+        self.block = block
+        self.new_ver = -1
+        self.incomings: Dict["BasicBlock", int] = {}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{pred.name}: {ver}" for pred, ver in self.incomings.items())
+        return f"{self.obj.name}_{self.new_ver} = memphi({parts})"

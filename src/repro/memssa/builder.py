@@ -1,0 +1,239 @@
+"""Memory SSA builder: annotate, place MEMPHIs, rename versions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.andersen import AndersenResult
+from repro.analysis.modref import ModRefInfo, compute_modref
+from repro.datastructs.bitset import iter_bits
+from repro.errors import AnalysisError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    CallInst,
+    FunEntryInst,
+    Instruction,
+    LoadInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.ir.values import FunctionObject, Variable
+from repro.memssa.annotations import Chi, MemPhi, Mu
+from repro.passes.cfg import CFGInfo
+from repro.passes.dominators import DominatorTree, dominance_frontiers, iterated_dominance_frontier
+
+
+class MemSSA:
+    """The memory SSA form of a module (see package docstring)."""
+
+    def __init__(self, module: Module, andersen: AndersenResult, modref: ModRefInfo):
+        self.module = module
+        self.andersen = andersen
+        self.modref = modref
+        # Annotations, keyed by the annotated instruction.
+        self.load_mus: Dict[LoadInst, List[Mu]] = {}
+        self.store_chis: Dict[StoreInst, List[Chi]] = {}
+        self.call_mus: Dict[CallInst, List[Mu]] = {}
+        self.call_chis: Dict[CallInst, List[Chi]] = {}
+        self.entry_chis: Dict[Function, List[Chi]] = {}
+        self.exit_mus: Dict[Function, List[Mu]] = {}
+        self.memphis: Dict[Function, List[MemPhi]] = {}
+
+    # ------------------------------------------------------------- reporting
+
+    def num_memphis(self) -> int:
+        return sum(len(phis) for phis in self.memphis.values())
+
+    def annotation_counts(self) -> Dict[str, int]:
+        """How many μ/χ of each kind exist (useful in tests and stats)."""
+        return {
+            "load_mu": sum(len(v) for v in self.load_mus.values()),
+            "store_chi": sum(len(v) for v in self.store_chis.values()),
+            "call_mu": sum(len(v) for v in self.call_mus.values()),
+            "call_chi": sum(len(v) for v in self.call_chis.values()),
+            "entry_chi": sum(len(v) for v in self.entry_chis.values()),
+            "exit_mu": sum(len(v) for v in self.exit_mus.values()),
+            "memphi": self.num_memphis(),
+        }
+
+
+def _strip_function_objects(module: Module, mask: int) -> int:
+    for oid in iter_bits(mask):
+        if isinstance(module.objects[oid], FunctionObject):
+            mask &= ~(1 << oid)
+    return mask
+
+
+class _FunctionRenamer:
+    """Runs annotation + MEMPHI placement + renaming for one function."""
+
+    def __init__(self, memssa: MemSSA, function: Function):
+        self.memssa = memssa
+        self.module = memssa.module
+        self.andersen = memssa.andersen
+        self.modref = memssa.modref
+        self.function = function
+        self.cfg = CFGInfo(function)
+        self.domtree = DominatorTree(function, self.cfg)
+        self.counters: Dict[int, int] = {}  # obj id -> next version
+        # memphis per block for this function
+        self.block_phis: Dict[BasicBlock, List[MemPhi]] = {}
+
+    def fresh_version(self, oid: int) -> int:
+        ver = self.counters.get(oid, 0)
+        self.counters[oid] = ver + 1
+        return ver
+
+    # ---------------------------------------------------------------- phase 1
+
+    def annotate(self) -> Dict[int, Set[BasicBlock]]:
+        """Attach empty μ/χ lists; return def blocks per object id."""
+        function = self.function
+        memssa = self.memssa
+        module = self.module
+        def_blocks: Dict[int, Set[BasicBlock]] = {}
+        entry = function.entry_block
+
+        in_mask = self.modref.in_objs(function)
+        for oid in iter_bits(in_mask):
+            def_blocks.setdefault(oid, set()).add(entry)
+
+        reachable = set(self.cfg.rpo)
+        for block in function.blocks:
+            if block not in reachable:
+                continue
+            for inst in block.instructions:
+                if isinstance(inst, LoadInst) and isinstance(inst.ptr, Variable):
+                    mask = _strip_function_objects(module, self.andersen.pts_mask(inst.ptr))
+                    if mask:
+                        memssa.load_mus[inst] = [Mu(module.objects[oid]) for oid in iter_bits(mask)]
+                elif isinstance(inst, StoreInst) and isinstance(inst.ptr, Variable):
+                    mask = _strip_function_objects(module, self.andersen.pts_mask(inst.ptr))
+                    if mask:
+                        memssa.store_chis[inst] = [Chi(module.objects[oid]) for oid in iter_bits(mask)]
+                        for oid in iter_bits(mask):
+                            def_blocks.setdefault(oid, set()).add(block)
+                elif isinstance(inst, CallInst):
+                    mu_mask = self.modref.call_mu_objs(inst)
+                    chi_mask = self.modref.call_chi_objs(inst)
+                    if mu_mask:
+                        memssa.call_mus[inst] = [Mu(module.objects[oid]) for oid in iter_bits(mu_mask)]
+                    if chi_mask:
+                        memssa.call_chis[inst] = [Chi(module.objects[oid]) for oid in iter_bits(chi_mask)]
+                        for oid in iter_bits(chi_mask):
+                            def_blocks.setdefault(oid, set()).add(block)
+
+        memssa.entry_chis[function] = [Chi(module.objects[oid]) for oid in iter_bits(in_mask)]
+        out_mask = self.modref.out_objs(function)
+        memssa.exit_mus[function] = [Mu(module.objects[oid]) for oid in iter_bits(out_mask)]
+        return def_blocks
+
+    # ---------------------------------------------------------------- phase 2
+
+    def place_memphis(self, def_blocks: Dict[int, Set[BasicBlock]]) -> None:
+        frontiers = dominance_frontiers(self.domtree)
+        phis: List[MemPhi] = []
+        for oid, blocks in def_blocks.items():
+            if len(blocks) < 1:
+                continue
+            for join in iterated_dominance_frontier(frontiers, blocks):
+                phi = MemPhi(self.module.objects[oid], join)
+                phis.append(phi)
+                self.block_phis.setdefault(join, []).append(phi)
+        self.memssa.memphis[self.function] = phis
+
+    # ---------------------------------------------------------------- phase 3
+
+    def rename(self) -> None:
+        """Dominator-tree walk assigning versions (iterative, with undo)."""
+        function = self.function
+        memssa = self.memssa
+        current: Dict[int, int] = {}
+
+        # actions: ("enter", block) or ("exit", undo list of (oid, old or None))
+        actions: List[Tuple[str, object]] = [("enter", function.entry_block)]
+        while actions:
+            kind, payload = actions.pop()
+            if kind == "exit":
+                for oid, old in payload:  # type: ignore[union-attr]
+                    if old is None:
+                        current.pop(oid, None)
+                    else:
+                        current[oid] = old
+                continue
+
+            block = payload  # type: ignore[assignment]
+            undo: List[Tuple[int, Optional[int]]] = []
+
+            def set_version(oid: int, ver: int) -> None:
+                undo.append((oid, current.get(oid)))
+                current[oid] = ver
+
+            for phi in self.block_phis.get(block, []):
+                ver = self.fresh_version(phi.obj.id)
+                phi.new_ver = ver
+                set_version(phi.obj.id, ver)
+
+            for inst in block.instructions:
+                if isinstance(inst, FunEntryInst):
+                    for chi in memssa.entry_chis.get(function, []):
+                        ver = self.fresh_version(chi.obj.id)
+                        chi.new_ver = ver
+                        set_version(chi.obj.id, ver)
+                elif isinstance(inst, LoadInst):
+                    for mu in memssa.load_mus.get(inst, []):
+                        mu.ver = self._use(current, mu.obj.id)
+                elif isinstance(inst, StoreInst):
+                    for chi in memssa.store_chis.get(inst, []):
+                        chi.old_ver = self._use(current, chi.obj.id)
+                        chi.new_ver = self.fresh_version(chi.obj.id)
+                        set_version(chi.obj.id, chi.new_ver)
+                elif isinstance(inst, CallInst):
+                    for mu in memssa.call_mus.get(inst, []):
+                        mu.ver = self._use(current, mu.obj.id)
+                    for chi in memssa.call_chis.get(inst, []):
+                        chi.old_ver = self._use(current, chi.obj.id)
+                        chi.new_ver = self.fresh_version(chi.obj.id)
+                        set_version(chi.obj.id, chi.new_ver)
+                elif isinstance(inst, RetInst):
+                    for mu in memssa.exit_mus.get(function, []):
+                        mu.ver = self._use(current, mu.obj.id)
+
+            for succ in self.cfg.succs[block]:
+                for phi in self.block_phis.get(succ, []):
+                    phi.incomings[block] = self._use(current, phi.obj.id)
+
+            actions.append(("exit", undo))
+            for child in self.domtree.children.get(block, []):
+                actions.append(("enter", child))
+
+    def _use(self, current: Dict[int, int], oid: int) -> int:
+        ver = current.get(oid)
+        if ver is None:
+            raise AnalysisError(
+                f"object {self.module.objects[oid].name} used before any version "
+                f"in @{self.function.name}; mod/ref under-approximated"
+            )
+        return ver
+
+    def run(self) -> None:
+        def_blocks = self.annotate()
+        self.place_memphis(def_blocks)
+        self.rename()
+
+
+def build_memssa(
+    module: Module,
+    andersen: AndersenResult,
+    modref: Optional[ModRefInfo] = None,
+) -> MemSSA:
+    """Build memory SSA for every defined function of *module*."""
+    modref = modref or compute_modref(module, andersen)
+    memssa = MemSSA(module, andersen, modref)
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        _FunctionRenamer(memssa, function).run()
+    return memssa

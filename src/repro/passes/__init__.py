@@ -1,0 +1,37 @@
+"""IR transformation and CFG-analysis passes.
+
+The pipeline a module goes through before pointer analysis (§II of the
+paper)::
+
+    frontend IR  --unify_returns-->  single FUNEXIT per function
+                 --mem2reg------->  partial SSA (top-level variables)
+                 --mark_singletons->  SN set for strong updates
+
+Supporting analyses: CFG utilities (:mod:`repro.passes.cfg`), dominator
+trees and (iterated) dominance frontiers (:mod:`repro.passes.dominators`),
+and natural-loop detection (:mod:`repro.passes.loops`).
+"""
+
+from repro.passes.cfg import CFGInfo, reverse_postorder
+from repro.passes.dominators import DominatorTree, dominance_frontiers, iterated_dominance_frontier
+from repro.passes.loops import blocks_in_loops, find_back_edges
+from repro.passes.mem2reg import promote_allocas
+from repro.passes.singletons import mark_singletons
+from repro.passes.simplify_cfg import remove_unreachable_blocks
+from repro.passes.unify_returns import unify_returns
+from repro.passes.pipeline import prepare_module
+
+__all__ = [
+    "CFGInfo",
+    "reverse_postorder",
+    "DominatorTree",
+    "dominance_frontiers",
+    "iterated_dominance_frontier",
+    "find_back_edges",
+    "blocks_in_loops",
+    "promote_allocas",
+    "mark_singletons",
+    "remove_unreachable_blocks",
+    "unify_returns",
+    "prepare_module",
+]

@@ -1,0 +1,61 @@
+"""CFG utilities: cached predecessor/successor maps and orderings.
+
+:class:`BasicBlock.predecessors` recomputes by scanning the function; the
+passes below need many queries, so :class:`CFGInfo` snapshots the CFG once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+class CFGInfo:
+    """An immutable snapshot of a function's CFG.
+
+    Invalidated by any pass that edits terminators or adds blocks — build a
+    fresh one afterwards.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.succs: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in function.blocks}
+        for block in function.blocks:
+            succs = block.successors()
+            self.succs[block] = succs
+            for succ in succs:
+                self.preds[succ].append(block)
+        self.rpo = reverse_postorder(function)
+        self.rpo_index: Dict[BasicBlock, int] = {block: i for i, block in enumerate(self.rpo)}
+
+    def reachable(self) -> List[BasicBlock]:
+        """Blocks reachable from the entry, in reverse postorder."""
+        return self.rpo
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Reverse postorder over blocks reachable from the entry (iterative DFS)."""
+    if not function.blocks:
+        return []
+    entry = function.entry_block
+    visited = {entry}
+    postorder: List[BasicBlock] = []
+    # stack of (block, successor iterator)
+    stack = [(entry, iter(entry.successors()))]
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    postorder.reverse()
+    return postorder

@@ -1,0 +1,133 @@
+"""Dominator trees and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" iterative dominator
+algorithm and the standard dominance-frontier construction, both of which are
+what ``mem2reg`` (top-level SSA) and memory SSA (MEMPHI placement) are built
+on.  The *iterated* dominance frontier gives the phi-insertion points for a
+set of defining blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.passes.cfg import CFGInfo
+
+
+class DominatorTree:
+    """Immediate-dominator tree of the blocks reachable from the entry."""
+
+    def __init__(self, function: Function, cfg: Optional[CFGInfo] = None):
+        self.function = function
+        self.cfg = cfg or CFGInfo(function)
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._depth: Dict[BasicBlock, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.rpo
+        if not rpo:
+            return
+        entry = rpo[0]
+        index = self.cfg.rpo_index
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo[1:]:
+                preds = [pred for pred in self.cfg.preds[block] if pred in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        self.idom = {block: (None if block is entry else idom[block]) for block in idom}
+        self.children = {block: [] for block in idom}
+        for block, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(block)
+        # depths for dominance queries
+        self._depth[entry] = 0
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            for child in self.children[block]:
+                self._depth[child] = self._depth[block] + 1
+                stack.append(child)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if *a* dominates *b* (reflexively)."""
+        if a not in self._depth or b not in self._depth:
+            return False
+        while self._depth.get(b, -1) > self._depth[a]:
+            b = self.idom[b]  # type: ignore[assignment]
+        return a is b
+
+    def preorder(self) -> List[BasicBlock]:
+        """Dominator-tree preorder (the renaming walk order for SSA)."""
+        if not self.cfg.rpo:
+            return []
+        order: List[BasicBlock] = []
+        stack = [self.cfg.rpo[0]]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            # reversed so children visit in natural order
+            stack.extend(reversed(self.children.get(block, [])))
+        return order
+
+
+def dominance_frontiers(domtree: DominatorTree) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """DF(b) for every reachable block, via the Cooper et al. algorithm:
+    walk up from each predecessor of each block to the block's idom.
+
+    Single-predecessor blocks are *not* skipped (the textbook ≥2-preds
+    shortcut misses a self-looping entry block, whose frontier contains
+    itself by the definition DF(a) = {b : a dom pred(b) ∧ ¬(a sdom b)}).
+    The walk is a no-op for the ordinary single-pred case anyway, because
+    then idom(b) is exactly the predecessor.
+    """
+    frontiers: Dict[BasicBlock, Set[BasicBlock]] = {block: set() for block in domtree.idom}
+    for block in domtree.idom:
+        preds = [pred for pred in domtree.cfg.preds[block] if pred in domtree.idom]
+        for pred in preds:
+            runner: "BasicBlock | None" = pred
+            while runner is not None and runner is not domtree.idom[block]:
+                frontiers[runner].add(block)
+                runner = domtree.idom[runner]
+    return frontiers
+
+
+def iterated_dominance_frontier(
+    frontiers: Dict[BasicBlock, Set[BasicBlock]],
+    def_blocks: Iterable[BasicBlock],
+) -> Set[BasicBlock]:
+    """DF+ of *def_blocks*: the phi-placement set (fixed point of DF)."""
+    result: Set[BasicBlock] = set()
+    work = [block for block in set(def_blocks) if block in frontiers]
+    visited = set(work)
+    while work:
+        block = work.pop()
+        for frontier_block in frontiers[block]:
+            if frontier_block not in result:
+                result.add(frontier_block)
+                if frontier_block not in visited:
+                    visited.add(frontier_block)
+                    work.append(frontier_block)
+    return result

@@ -1,0 +1,51 @@
+"""Natural-loop detection.
+
+Used by the singleton pass: a stack object allocated inside a loop may stand
+for many runtime objects, so it must not be strong-updated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.passes.cfg import CFGInfo
+from repro.passes.dominators import DominatorTree
+
+
+def find_back_edges(function: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """Edges ``tail -> head`` where *head* dominates *tail* (natural loops)."""
+    if function.is_declaration:
+        return []
+    cfg = CFGInfo(function)
+    domtree = DominatorTree(function, cfg)
+    back_edges = []
+    for block in cfg.rpo:
+        for succ in cfg.succs[block]:
+            if domtree.dominates(succ, block):
+                back_edges.append((block, succ))
+    return back_edges
+
+
+def blocks_in_loops(function: Function) -> Set[BasicBlock]:
+    """The union of all natural loop bodies of *function*.
+
+    For a back edge ``tail -> head``, the loop body is *head* plus every
+    block that can reach *tail* without passing through *head*.
+    """
+    if function.is_declaration:
+        return set()
+    cfg = CFGInfo(function)
+    in_loop: Set[BasicBlock] = set()
+    for tail, head in find_back_edges(function):
+        body = {head, tail}
+        work = [tail]
+        while work:
+            block = work.pop()
+            for pred in cfg.preds.get(block, []):
+                if pred not in body:
+                    body.add(pred)
+                    work.append(pred)
+        in_loop.update(body)
+    return in_loop

@@ -1,0 +1,183 @@
+"""mem2reg: promote non-address-taken stack slots to SSA registers.
+
+The mini-C frontend lowers *every* local variable to an ``alloca`` plus
+loads/stores (the easy-to-generate form).  This pass rebuilds the *partial
+SSA form* of §II-A: locals whose address never escapes become top-level SSA
+variables with ``PHI`` joins, while genuinely address-taken locals keep their
+``alloca`` and stay in the address-taken world.
+
+A stack slot is promotable iff its address variable is used **only** as the
+pointer operand of loads and stores (never stored *as a value*, passed to a
+call, cast, compared, returned, or indexed by ``FIELD``) and the object is a
+scalar (no fields, not an array).
+
+Classic algorithm: phi insertion at the iterated dominance frontier of the
+store blocks, then a renaming walk over the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AllocInst,
+    Instruction,
+    LoadInst,
+    Operand,
+    PhiInst,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.ir.types import INT
+from repro.ir.values import Constant, ObjectKind, Value, Variable
+from repro.passes.cfg import CFGInfo
+from repro.passes.dominators import DominatorTree, dominance_frontiers, iterated_dominance_frontier
+
+#: Value used for reads of never-written promoted slots (C's "uninitialised").
+UNDEF = Constant(0, INT)
+
+
+def _promotable_allocas(function: Function, reachable: Set[BasicBlock]) -> List[AllocInst]:
+    """Allocas of *function* that can be promoted to SSA registers."""
+    allocas: List[AllocInst] = []
+    # Map each candidate address variable to its alloca.
+    candidates: Dict[Variable, AllocInst] = {}
+    for inst in function.instructions():
+        if (
+            isinstance(inst, AllocInst)
+            and inst.obj.kind is ObjectKind.STACK
+            and inst.obj.num_fields == 0
+            and not inst.obj.is_array
+        ):
+            candidates[inst.dst] = inst
+
+    disqualified: Set[Variable] = set()
+    for inst in function.instructions():
+        if inst.block not in reachable:
+            for operand in inst.operands():
+                if isinstance(operand, Variable):
+                    disqualified.add(operand)
+            continue
+        if isinstance(inst, LoadInst):
+            continue  # load uses the address only as a pointer
+        if isinstance(inst, StoreInst):
+            if isinstance(inst.value, Variable):
+                disqualified.add(inst.value)  # address escapes as a value
+            continue
+        for operand in inst.operands():
+            if isinstance(operand, Variable):
+                disqualified.add(operand)
+
+    for var, alloca in candidates.items():
+        if var not in disqualified and alloca.block in reachable:
+            allocas.append(alloca)
+    return allocas
+
+
+def promote_allocas_function(function: Function) -> int:
+    """Promote the promotable allocas of *function*; return how many."""
+    if function.is_declaration:
+        return 0
+    cfg = CFGInfo(function)
+    reachable = set(cfg.rpo)
+    allocas = _promotable_allocas(function, reachable)
+    if not allocas:
+        return 0
+    domtree = DominatorTree(function, cfg)
+    frontiers = dominance_frontiers(domtree)
+
+    slot_of: Dict[Variable, AllocInst] = {alloca.dst: alloca for alloca in allocas}
+    phi_slot: Dict[PhiInst, AllocInst] = {}
+
+    # ---- Phi insertion at the iterated dominance frontier of store blocks.
+    for alloca in allocas:
+        def_blocks = [
+            inst.block
+            for inst in function.instructions()
+            if isinstance(inst, StoreInst) and inst.ptr is alloca.dst and inst.block in reachable
+        ]
+        for join in iterated_dominance_frontier(frontiers, def_blocks):
+            phi = PhiInst(Variable(f"{alloca.obj.name}.phi.{join.name}"))
+            join.insert_front(phi)
+            phi_slot[phi] = alloca
+
+    # ---- Renaming walk over the dominator tree.
+    replacements: Dict[Variable, Value] = {}
+    dead: List[Instruction] = []
+    # stack entries: (block, {slot var -> current value}) — copied per child.
+    entry = function.entry_block
+    stack: List[Tuple[BasicBlock, Dict[Variable, Value]]] = [(entry, {})]
+    while stack:
+        block, incoming = stack.pop()
+        current = dict(incoming)
+        for inst in list(block.instructions):
+            if isinstance(inst, PhiInst) and inst in phi_slot:
+                current[phi_slot[inst].dst] = inst.dst
+            elif isinstance(inst, AllocInst) and inst.dst in slot_of:
+                dead.append(inst)
+            elif isinstance(inst, LoadInst) and isinstance(inst.ptr, Variable) \
+                    and inst.ptr in slot_of:
+                replacements[inst.dst] = current.get(inst.ptr, UNDEF)
+                dead.append(inst)
+            elif isinstance(inst, StoreInst) and isinstance(inst.ptr, Variable) \
+                    and inst.ptr in slot_of:
+                current[inst.ptr] = inst.value
+                dead.append(inst)
+        for succ in cfg.succs[block]:
+            for phi in succ.phis():
+                slot = phi_slot.get(phi)
+                if slot is not None:
+                    phi.add_incoming(block, current.get(slot.dst, UNDEF))  # type: ignore[arg-type]
+        for child in domtree.children.get(block, []):
+            stack.append((child, current))
+
+    # ---- Resolve replacement chains (a load may forward another load).
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, Variable) and value in replacements:
+            if value in seen:  # defensive; cannot happen with dominance
+                break
+            seen.add(value)
+            value = replacements[value]
+        return value
+
+    for inst in function.instructions():
+        if isinstance(inst, PhiInst):
+            inst.incomings = [(blk, resolve(val)) for blk, val in inst.incomings]  # type: ignore[misc]
+        else:
+            for operand in list(inst.operands()):
+                resolved = resolve(operand)
+                if resolved is not operand:
+                    inst.replace_uses(operand, resolved)
+
+    for inst in dead:
+        function.remove_instruction(inst)
+
+    # Prune trivial phis (all incomings identical) introduced by the IDF
+    # over-approximation; repeat until stable.
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                if phi not in phi_slot:
+                    continue
+                sources = {value for __, value in phi.incomings if value is not phi.dst}
+                if len(sources) == 1:
+                    replacement = sources.pop()
+                    for inst in function.instructions():
+                        if inst is not phi:
+                            inst.replace_uses(phi.dst, replacement)
+                    block.instructions.remove(phi)
+                    phi.block = None
+                    changed = True
+    return len(allocas)
+
+
+def promote_allocas(module: Module) -> int:
+    """Run mem2reg on every function; renumber; return total promoted."""
+    total = sum(promote_allocas_function(function) for function in module.functions.values())
+    module.renumber()
+    return total

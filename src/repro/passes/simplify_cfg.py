@@ -1,0 +1,51 @@
+"""CFG cleanup: remove blocks unreachable from the entry.
+
+The frontend parks statements after ``return``/``break`` in dead blocks and
+loop lowering can produce never-entered latch blocks.  Downstream passes
+(mem2reg's renaming walk, the verifier's phi checks, memory SSA) all assume
+every predecessor of a reachable block is itself reachable, so the dead
+blocks are pruned — and phi incomings from pruned predecessors dropped —
+before anything else runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import PhiInst
+from repro.ir.module import Module
+from repro.passes.cfg import reverse_postorder
+
+
+def remove_unreachable_blocks_function(function: Function) -> int:
+    """Prune unreachable blocks of *function*; return how many were removed."""
+    if function.is_declaration:
+        return 0
+    reachable = set(reverse_postorder(function))
+    dead = [block for block in function.blocks if block not in reachable]
+    if not dead:
+        return 0
+    for block in dead:
+        function.blocks.remove(block)
+        function._block_names.pop(block.name, None)
+        for inst in block.instructions:
+            inst.block = None
+    dead_set = set(dead)
+    for block in function.blocks:
+        for phi in block.phis():
+            phi.incomings = [
+                (pred, value) for pred, value in phi.incomings if pred not in dead_set
+            ]
+    return len(dead)
+
+
+def remove_unreachable_blocks(module: Module) -> int:
+    """Prune unreachable blocks module-wide; renumber if anything changed."""
+    removed = sum(
+        remove_unreachable_blocks_function(function)
+        for function in module.functions.values()
+    )
+    if removed:
+        module.renumber()
+    return removed

@@ -1,0 +1,107 @@
+"""Compute the singleton set ``SN`` (Table I) used for strong updates.
+
+A flow-sensitive solver may *strong-update* (kill the old points-to set of)
+an object only if the abstract object represents **exactly one** runtime
+location.  Following SVF's ``isStrongUpdate`` conditions, an object is a
+singleton iff all of the following hold:
+
+- it is not a heap object (one ``malloc`` site may execute many times);
+- it is not an array (one abstract object summarises all elements);
+- its allocation site is not inside a natural loop;
+- its function is not potentially executed more than once *simultaneously* —
+  conservatively, not part of recursion.  Recursion is judged on the
+  *pessimistic* call graph: direct call edges plus an edge from every
+  indirect call site to every address-taken function (this needs no pointer
+  analysis and over-approximates any call graph a pointer analysis could
+  produce, so it is sound to use before Andersen runs);
+- global objects are singletons unless arrays (there is one copy of each
+  global).
+
+Field objects inherit their base's singleton-ness at creation; this pass
+also refreshes fields derived before it ran.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.datastructs.graph import DiGraph, strongly_connected_components
+from repro.ir.function import Function
+from repro.ir.instructions import AllocInst, CallInst
+from repro.ir.module import Module
+from repro.ir.values import MemObject, ObjectKind
+from repro.passes.loops import blocks_in_loops
+
+
+def _pessimistic_callgraph(module: Module) -> DiGraph:
+    """Call graph assuming every indirect call may reach every
+    address-taken function."""
+    graph: DiGraph = DiGraph()
+    address_taken = [
+        inst.obj.function  # type: ignore[attr-defined]
+        for inst in module.instructions()
+        if isinstance(inst, AllocInst) and inst.obj.kind is ObjectKind.FUNCTION
+    ]
+    for function in module.functions.values():
+        graph.add_node(function)
+        for inst in function.instructions():
+            if not isinstance(inst, CallInst):
+                continue
+            if inst.is_indirect():
+                for target in address_taken:
+                    graph.add_edge(function, target)
+            else:
+                graph.add_edge(function, inst.callee)
+    return graph
+
+
+def _recursive_functions(module: Module) -> Set[Function]:
+    """Functions in a call-graph cycle (including self-recursion)."""
+    graph = _pessimistic_callgraph(module)
+    recursive: Set[Function] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive.update(component)
+        elif graph.has_edge(component[0], component[0]):
+            recursive.add(component[0])
+    return recursive
+
+
+def mark_singletons(module: Module) -> int:
+    """Set :attr:`MemObject.is_singleton` module-wide; return singleton count."""
+    recursive = _recursive_functions(module)
+    loops_cache: Dict[Function, set] = {}
+
+    for obj in module.objects:
+        obj.is_singleton = False
+
+    count = 0
+    for obj in module.objects:
+        if obj.is_array or obj.kind in (ObjectKind.HEAP, ObjectKind.FIELD, ObjectKind.FUNCTION):
+            continue
+        if obj.kind is ObjectKind.GLOBAL:
+            obj.is_singleton = True
+            count += 1
+            continue
+        # Stack object: singleton unless its frame can be live twice or its
+        # alloca re-executes within one activation.
+        site = obj.alloc_site
+        if not isinstance(site, AllocInst) or site.block is None:
+            continue
+        function = site.block.function
+        if function in recursive:
+            continue
+        if function not in loops_cache:
+            loops_cache[function] = blocks_in_loops(function)
+        if site.block in loops_cache[function]:
+            continue
+        obj.is_singleton = True
+        count += 1
+
+    # Field objects inherit from their (possibly re-judged) base.
+    for obj in module.objects:
+        if obj.kind is ObjectKind.FIELD and obj.base is not None:
+            obj.is_singleton = obj.base.is_singleton and not obj.base.is_array
+            if obj.is_singleton:
+                count += 1
+    return count

@@ -1,0 +1,63 @@
+"""Unify-returns pass (LLVM's ``UnifyFunctionExitNodes``).
+
+The paper's IR requires a single ``FUNEXIT`` per function.  This pass
+rewrites every function with more than one ``ret`` so that all returning
+blocks branch to a fresh ``unified_exit`` block whose single ``ret`` returns
+a phi over the original return values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import BranchInst, Operand, PhiInst, RetInst
+from repro.ir.module import Module
+from repro.ir.values import Variable
+
+
+def unify_returns_function(function: Function) -> bool:
+    """Ensure *function* has exactly one ``ret``; return True if rewritten."""
+    if function.is_declaration:
+        return False
+    ret_sites: List[Tuple[BasicBlock, RetInst]] = [
+        (block, inst)
+        for block in function.blocks
+        for inst in block.instructions
+        if isinstance(inst, RetInst)
+    ]
+    if len(ret_sites) <= 1:
+        return False
+
+    exit_block = function.add_block("unified_exit")
+    returns_value = any(inst.value is not None for __, inst in ret_sites)
+    incomings: List[Tuple[BasicBlock, Operand]] = []
+    for block, inst in ret_sites:
+        block.instructions.remove(inst)
+        inst.block = None
+        branch = BranchInst([exit_block])
+        branch.block = block
+        block.instructions.append(branch)
+        if returns_value and inst.value is not None:
+            incomings.append((block, inst.value))
+
+    ret_value: "Operand | None" = None
+    if returns_value and incomings:
+        if len(incomings) == 1:
+            ret_value = incomings[0][1]
+        else:
+            phi_var = Variable(f"{function.name}.retval")
+            phi = PhiInst(phi_var, incomings)
+            exit_block.append(phi)
+            ret_value = phi_var
+    exit_block.append(RetInst(ret_value))
+    return True
+
+
+def unify_returns(module: Module) -> int:
+    """Run unify-returns over every function; return the number rewritten."""
+    count = sum(1 for function in module.functions.values() if unify_returns_function(function))
+    if count:
+        module.renumber()
+    return count

@@ -1,0 +1,114 @@
+"""One-stop pipeline: source/module in, points-to results out.
+
+:class:`AnalysisPipeline` lazily builds and caches each analysis stage
+(Andersen → mod/ref → memory SSA → SVFG → solvers) so callers can share
+the expensive substrate between SFS and VSFS runs — exactly how the paper
+benchmarks the two (auxiliary analysis and SVFG construction excluded from
+the timed main phase).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.analysis.andersen import AndersenAnalysis, AndersenResult
+from repro.analysis.modref import ModRefInfo, compute_modref
+from repro.core.versioning import ObjectVersioning, version_objects
+from repro.core.vsfs import VSFSAnalysis
+from repro.errors import AnalysisError
+from repro.frontend import compile_c
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.memssa.builder import MemSSA, build_memssa
+from repro.passes.pipeline import prepare_module
+from repro.solvers.base import FlowSensitiveResult
+from repro.solvers.icfg_fs import ICFGFlowSensitive
+from repro.solvers.sfs import SFSAnalysis
+from repro.svfg.builder import SVFG, build_svfg
+
+ANALYSES = ("ander", "sfs", "vsfs", "icfg-fs")
+
+
+class AnalysisPipeline:
+    """Caches each stage; every getter builds its dependencies on demand."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._andersen: Optional[AndersenResult] = None
+        self._modref: Optional[ModRefInfo] = None
+        self._memssa: Optional[MemSSA] = None
+        self._svfg: Optional[SVFG] = None
+        self._versioning: Optional[ObjectVersioning] = None
+
+    def andersen(self) -> AndersenResult:
+        if self._andersen is None:
+            self._andersen = AndersenAnalysis(self.module).run()
+        return self._andersen
+
+    def modref(self) -> ModRefInfo:
+        if self._modref is None:
+            self._modref = compute_modref(self.module, self.andersen())
+        return self._modref
+
+    def memssa(self) -> MemSSA:
+        if self._memssa is None:
+            self._memssa = build_memssa(self.module, self.andersen(), self.modref())
+        return self._memssa
+
+    def svfg(self) -> SVFG:
+        if self._svfg is None:
+            self._svfg = build_svfg(self.module, self.andersen(), self.memssa())
+        return self._svfg
+
+    def fresh_svfg(self) -> SVFG:
+        """An un-shared SVFG (solvers mutate it via OTF edges)."""
+        return build_svfg(self.module, self.andersen(), self.memssa())
+
+    def versioning(self) -> ObjectVersioning:
+        if self._versioning is None:
+            self._versioning = version_objects(self.svfg())
+        return self._versioning
+
+    def sfs(self) -> FlowSensitiveResult:
+        return SFSAnalysis(self.fresh_svfg()).run()
+
+    def vsfs(self) -> FlowSensitiveResult:
+        return VSFSAnalysis(self.fresh_svfg()).run()
+
+    def icfg_fs(self) -> FlowSensitiveResult:
+        return ICFGFlowSensitive(self.module).run()
+
+
+def module_from(source: Union[str, Module], language: str = "c") -> Module:
+    """Accept a ready module, mini-C source, or textual IR."""
+    if isinstance(source, Module):
+        return source
+    if language == "c":
+        return compile_c(source)
+    if language == "ir":
+        module = parse_module(source)
+        prepare_module(module, promote=False)
+        return module
+    raise AnalysisError(f"unknown language {language!r} (want 'c' or 'ir')")
+
+
+def analyze(source: Union[str, Module], analysis: str = "vsfs", language: str = "c"):
+    """Run one analysis end to end.
+
+    :param source: a prepared :class:`Module`, mini-C source text, or
+        textual IR (set ``language='ir'``).
+    :param analysis: ``'ander'``, ``'sfs'``, ``'vsfs'`` (default) or
+        ``'icfg-fs'``.
+    :returns: :class:`AndersenResult` or :class:`FlowSensitiveResult`.
+    """
+    module = module_from(source, language)
+    pipeline = AnalysisPipeline(module)
+    if analysis == "ander":
+        return pipeline.andersen()
+    if analysis == "sfs":
+        return pipeline.sfs()
+    if analysis == "vsfs":
+        return pipeline.vsfs()
+    if analysis == "icfg-fs":
+        return pipeline.icfg_fs()
+    raise AnalysisError(f"unknown analysis {analysis!r}; choose from {ANALYSES}")

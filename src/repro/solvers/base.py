@@ -1,0 +1,282 @@
+"""Machinery shared by the staged flow-sensitive solvers (SFS and VSFS).
+
+Both solvers walk the same SVFG with the same top-level (direct) rules —
+``ADDR``, ``COPY``, ``PHI``, ``FIELD-ADDR``, ``CALL``, ``RET`` of Figure 10 —
+and the same on-the-fly call graph resolution.  They differ only in how the
+points-to set of an address-taken object is *stored and propagated*:
+
+- SFS keeps an ``IN``/``OUT`` map per SVFG node (multiple-object sparsity);
+- VSFS keys one global table by ``(object, version)`` (adds single-object
+  sparsity).
+
+Subclasses implement the five memory hooks (`_process_load`,
+`_process_store`, `_process_mem_node`, `_on_new_call_edge`, and
+`_memory_footprint`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.datastructs.bitset import count_bits, iter_bits
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AllocInst,
+    CallInst,
+    CopyInst,
+    FieldInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.ir.values import FunctionObject, MemObject, Variable
+from repro.svfg.builder import SVFG
+from repro.svfg.nodes import (
+    ActualINNode,
+    ActualOUTNode,
+    FormalINNode,
+    FormalOUTNode,
+    InstNode,
+    MemPhiNode,
+    SVFGNode,
+)
+
+
+@dataclass
+class SolverStats:
+    """Counters describing one flow-sensitive solve.
+
+    ``propagations`` counts indirect (per-object) set propagations along
+    SVFG edges / version constraints — the quantity VSFS reduces.
+    ``stored_ptsets``/``stored_ptset_bits`` describe the final memory
+    footprint of address-taken points-to data, the paper's memory story.
+    """
+
+    analysis: str = ""
+    solve_time: float = 0.0
+    pre_time: float = 0.0  # versioning time for VSFS, 0 for SFS
+    nodes_processed: int = 0
+    propagations: int = 0
+    unions: int = 0
+    strong_updates: int = 0
+    weak_updates: int = 0
+    stored_ptsets: int = 0
+    stored_ptset_bits: int = 0
+    top_level_bits: int = 0
+    callgraph_edges: int = 0
+    indirect_calls_resolved: int = 0
+
+    def total_time(self) -> float:
+        return self.pre_time + self.solve_time
+
+
+class FlowSensitiveResult:
+    """Final points-to information exposed by SFS/VSFS.
+
+    Top-level variables have one global points-to set each (partial SSA);
+    address-taken precision is observable through the loads that read it.
+    """
+
+    def __init__(self, module: Module, pt: List[int], callgraph: CallGraph, stats: SolverStats):
+        self.module = module
+        self._pt = pt
+        self.callgraph = callgraph
+        self.stats = stats
+
+    def pts_mask(self, var: Variable) -> int:
+        if var.id < 0 or var.id >= len(self._pt):
+            return 0
+        return self._pt[var.id]
+
+    def points_to(self, var: Variable) -> Set[MemObject]:
+        return {self.module.objects[oid] for oid in iter_bits(self.pts_mask(var))}
+
+    def may_alias(self, a: Variable, b: Variable) -> bool:
+        return bool(self.pts_mask(a) & self.pts_mask(b))
+
+    def snapshot(self) -> Dict[int, int]:
+        """var id -> mask for every non-empty top-level set (for tests)."""
+        return {vid: mask for vid, mask in enumerate(self._pt) if mask}
+
+
+class StagedSolverBase:
+    """Worklist solver over the SVFG; see module docstring."""
+
+    analysis_name = "base"
+
+    def __init__(self, svfg: SVFG):
+        self.svfg = svfg
+        self.module = svfg.module
+        self.andersen = svfg.andersen
+        self.memssa = svfg.memssa
+        self.pt: List[int] = [0] * len(self.module.variables)
+        self.callgraph = CallGraph(self.module)
+        self.stats = SolverStats(analysis=self.analysis_name)
+        # FIFO worklist of SVFG node ids with O(1) dedup.
+        from repro.datastructs.worklist import FIFOWorkList
+
+        self.worklist: FIFOWorkList[int] = FIFOWorkList()
+        self._function_objects: Dict[int, Function] = {
+            obj.id: obj.function
+            for obj in self.module.objects
+            if isinstance(obj, FunctionObject)
+        }
+
+    # ------------------------------------------------------------- top level
+
+    def set_pt(self, var: Variable, mask: int) -> bool:
+        """Grow pt(var); on growth, push every node reading *var*."""
+        vid = var.id
+        new = self.pt[vid] | mask
+        if new == self.pt[vid]:
+            return False
+        self.pt[vid] = new
+        for user in self.svfg.var_uses.get(vid, ()):
+            self.worklist.push(user)
+        return True
+
+    def value_mask(self, value: object) -> int:
+        """pt of an operand (constants and unregistered values are empty)."""
+        if isinstance(value, Variable) and 0 <= value.id < len(self.pt):
+            return self.pt[value.id]
+        return 0
+
+    # ------------------------------------------------------------ main solve
+
+    def run(self) -> FlowSensitiveResult:
+        self._prepare()  # fills stats.pre_time (versioning, for VSFS)
+        start = time.perf_counter()
+        # Seed the worklist with the rule-bearing instruction nodes; memory
+        # nodes (MEMPHI, actual/formal IN/OUT) only act once points-to data
+        # reaches them, which pushes them again.
+        seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
+                      StoreInst, CallInst, RetInst)
+        for node in self.svfg.nodes:
+            if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
+                self.worklist.push(node.id)
+        while self.worklist:
+            node_id = self.worklist.pop()
+            self.stats.nodes_processed += 1
+            self._process(self.svfg.nodes[node_id])
+        self.stats.solve_time = time.perf_counter() - start
+        self.stats.callgraph_edges = self.callgraph.num_edges()
+        self.stats.top_level_bits = sum(count_bits(mask) for mask in self.pt)
+        self._memory_footprint()
+        return FlowSensitiveResult(self.module, self.pt, self.callgraph, self.stats)
+
+    def _prepare(self) -> None:
+        """Hook: pre-solve setup (VSFS runs versioning here)."""
+
+    def _process(self, node: SVFGNode) -> None:
+        if isinstance(node, InstNode):
+            inst = node.inst
+            if isinstance(inst, AllocInst):
+                self.set_pt(inst.dst, 1 << inst.obj.id)
+            elif isinstance(inst, CopyInst):
+                self.set_pt(inst.dst, self.value_mask(inst.src))
+            elif isinstance(inst, PhiInst):
+                mask = 0
+                for __, value in inst.incomings:
+                    mask |= self.value_mask(value)
+                self.set_pt(inst.dst, mask)
+            elif isinstance(inst, FieldInst):
+                self._process_field(inst)
+            elif isinstance(inst, LoadInst):
+                self._process_load(node, inst)
+            elif isinstance(inst, StoreInst):
+                self._process_store(node, inst)
+            elif isinstance(inst, CallInst):
+                self._process_call(node, inst)
+            elif isinstance(inst, RetInst):
+                self._process_ret(node, inst)
+            # other instructions (binop/cmp/br/funentry) are pointer-neutral
+        else:
+            self._process_mem_node(node)
+
+    def _process_field(self, inst: FieldInst) -> None:
+        base_mask = self.value_mask(inst.base)
+        mask = 0
+        for oid in iter_bits(base_mask):
+            obj = self.module.objects[oid]
+            if isinstance(obj, FunctionObject):
+                continue
+            mask |= 1 << self.module.field_object(obj, inst.field).id
+        self.set_pt(inst.dst, mask)
+
+    # ----------------------------------------------------------------- calls
+
+    def _process_call(self, node: InstNode, call: CallInst) -> None:
+        callees: List[Function] = []
+        if call.is_indirect():
+            for oid in iter_bits(self.value_mask(call.callee)):
+                func = self._function_objects.get(oid)
+                if func is not None:
+                    callees.append(func)
+        else:
+            assert isinstance(call.callee, Function)
+            callees.append(call.callee)
+        for callee in callees:
+            if callee.is_declaration:
+                continue
+            if self.callgraph.add_edge(call, callee):
+                if call.is_indirect():
+                    self.stats.indirect_calls_resolved += 1
+                touched = self.svfg.connect_callsite(call, callee)
+                self._on_new_call_edge(call, callee, touched)
+                for src in touched:
+                    self.worklist.push(src)
+        # Bind actual arguments to formal parameters (CALL rule).
+        for callee in self.callgraph.callees_of(call):
+            for arg, param in zip(call.args, callee.params):
+                mask = self.value_mask(arg)
+                if mask:
+                    self.set_pt(param, mask)
+
+    def _process_ret(self, node: InstNode, ret: RetInst) -> None:
+        if not isinstance(ret.value, Variable):
+            return
+        mask = self.value_mask(ret.value)
+        if not mask:
+            return
+        function = node.function
+        assert function is not None
+        for call in self.callgraph.callsites_of(function):
+            if call.dst is not None:
+                self.set_pt(call.dst, mask)
+
+    # ------------------------------------------------------------- mem hooks
+
+    def _process_load(self, node: InstNode, inst: LoadInst) -> None:
+        raise NotImplementedError
+
+    def _process_store(self, node: InstNode, inst: StoreInst) -> None:
+        raise NotImplementedError
+
+    def _process_mem_node(self, node: SVFGNode) -> None:
+        raise NotImplementedError
+
+    def _on_new_call_edge(self, call: CallInst, callee: Function, touched: List[int]) -> None:
+        """Hook: a flow-sensitively discovered call edge was wired in."""
+
+    def _memory_footprint(self) -> None:
+        """Hook: fill ``stats.stored_ptsets`` / ``stats.stored_ptset_bits``."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+
+    def strong_update_target(self, ptr_mask: int) -> Optional[int]:
+        """If a store through *ptr_mask* may strong-update, the object id.
+
+        Requires pt(p) to be exactly one object which is a singleton
+        (SU/WU rule interacting with the kill function, §IV-D).
+        """
+        if ptr_mask and not ptr_mask & (ptr_mask - 1):  # exactly one bit
+            oid = ptr_mask.bit_length() - 1
+            if self.module.objects[oid].is_singleton:
+                return oid
+        return None

@@ -1,0 +1,47 @@
+"""The Sparse Value-Flow Graph (SVFG, §II-B).
+
+Nodes are the program's instructions plus the memory-SSA artefacts
+(``MEMPHI`` nodes and, following SVF, dedicated *ActualIN/ActualOUT* nodes
+per call site and object and *FormalIN/FormalOUT* nodes per function and
+object, which realise the paper's χ/μ-annotated ``CALL``/``FUNENTRY``/
+``FUNEXIT`` instructions at per-object granularity).
+
+Edges:
+
+- **direct** edges carry top-level variables: from each variable's unique
+  definition node to every node reading it, plus parameter/return binding
+  edges for direct calls;
+- **indirect** edges are labelled with an address-taken object ``o`` and
+  connect the definition of one memory-SSA version of ``o`` to each of its
+  uses.
+
+Interprocedural edges of *indirect* calls are not added at build time: the
+solvers resolve the call graph on the fly and call
+:meth:`SVFG.connect_callsite` when flow-sensitive analysis discovers a
+callee — the nodes that may acquire new incoming edges this way are the
+paper's *δ nodes* (Definition 3).
+"""
+
+from repro.svfg.nodes import (
+    ActualINNode,
+    ActualOUTNode,
+    FormalINNode,
+    FormalOUTNode,
+    InstNode,
+    MemPhiNode,
+    SVFGNode,
+)
+from repro.svfg.builder import SVFG, SVFGStats, build_svfg
+
+__all__ = [
+    "SVFGNode",
+    "InstNode",
+    "MemPhiNode",
+    "ActualINNode",
+    "ActualOUTNode",
+    "FormalINNode",
+    "FormalOUTNode",
+    "SVFG",
+    "SVFGStats",
+    "build_svfg",
+]

@@ -1,0 +1,132 @@
+"""SVFG node kinds.
+
+Every node has a dense :attr:`SVFGNode.id` (assigned by the builder in
+program order — useful as a worklist priority) and belongs to a function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.ir.function import Function
+from repro.ir.instructions import CallInst, Instruction
+from repro.ir.values import MemObject
+
+if TYPE_CHECKING:
+    from repro.memssa.annotations import MemPhi
+
+
+class SVFGNode:
+    """Base class for SVFG nodes.
+
+    ``consumed_ver``/``yielded_ver`` are written by the object-versioning
+    pre-analysis for *single-object* nodes (actual/formal IN/OUT): storing
+    one int pair beats a one-entry dict per node.  They stay 0 (ε) until a
+    versioning runs over this SVFG instance.
+    """
+
+    __slots__ = ("id", "function", "consumed_ver", "yielded_ver")
+
+    def __init__(self, function: Optional[Function]):
+        self.id = -1
+        self.function = function
+        self.consumed_ver = 0
+        self.yielded_ver = 0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<svfg:{self.id} {self.describe()}>"
+
+
+class InstNode(SVFGNode):
+    """One IR instruction (ALLOC/COPY/PHI/FIELD/LOAD/STORE/CALL/FUNENTRY/
+    FUNEXIT and the pointer-irrelevant rest)."""
+
+    __slots__ = ("inst",)
+
+    def __init__(self, inst: Instruction):
+        super().__init__(inst.function)
+        self.inst = inst
+
+    def describe(self) -> str:
+        return f"inst l{self.inst.id} {type(self.inst).__name__}"
+
+
+class MemPhiNode(SVFGNode):
+    """A MEMPHI ``o₃ = φ(o₁, o₂)`` at a CFG join."""
+
+    __slots__ = ("memphi",)
+
+    def __init__(self, memphi: "MemPhi"):
+        super().__init__(memphi.block.function)
+        self.memphi = memphi
+
+    @property
+    def obj(self) -> MemObject:
+        return self.memphi.obj
+
+    def describe(self) -> str:
+        return f"memphi {self.memphi.obj.name}@{self.memphi.block.name}"
+
+
+class ActualINNode(SVFGNode):
+    """μ(o) at a call site: the value of *o* flowing into callees."""
+
+    __slots__ = ("call", "obj")
+
+    def __init__(self, call: CallInst, obj: MemObject):
+        super().__init__(call.function)
+        self.call = call
+        self.obj = obj
+
+    def describe(self) -> str:
+        return f"actual-in {self.obj.name}@l{self.call.id}"
+
+
+class ActualOUTNode(SVFGNode):
+    """o = χ(o) at a call site: the value of *o* flowing back from callees.
+
+    For indirect call sites this is a δ node: its incoming interprocedural
+    edges appear during on-the-fly call graph resolution.
+    """
+
+    __slots__ = ("call", "obj")
+
+    def __init__(self, call: CallInst, obj: MemObject):
+        super().__init__(call.function)
+        self.call = call
+        self.obj = obj
+
+    def describe(self) -> str:
+        return f"actual-out {self.obj.name}@l{self.call.id}"
+
+
+class FormalINNode(SVFGNode):
+    """Entry-χ(o) of a function: receives *o* from call sites.
+
+    For functions reachable by indirect calls this is a δ node.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, function: Function, obj: MemObject):
+        super().__init__(function)
+        self.obj = obj
+
+    def describe(self) -> str:
+        return f"formal-in {self.obj.name}@{self.function.name}"
+
+
+class FormalOUTNode(SVFGNode):
+    """Exit-μ(o) of a function: returns *o* to call sites."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, function: Function, obj: MemObject):
+        super().__init__(function)
+        self.obj = obj
+
+    def describe(self) -> str:
+        return f"formal-out {self.obj.name}@{self.function.name}"

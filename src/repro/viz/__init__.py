@@ -1,0 +1,9 @@
+"""Graph exporters (Graphviz DOT) for the analysis artefacts.
+
+Every exporter returns DOT text so callers can write files or feed other
+tools; nothing here shells out to Graphviz.
+"""
+
+from repro.viz.dot import callgraph_to_dot, cfg_to_dot, svfg_to_dot
+
+__all__ = ["cfg_to_dot", "callgraph_to_dot", "svfg_to_dot"]

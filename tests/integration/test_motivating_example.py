@@ -1,0 +1,67 @@
+"""E2: the paper's motivating example (Figures 2 and 9).
+
+Paper claims for the fragment: SFS keeps 6 points-to sets and 6
+propagation constraints for object *o*; VSFS keeps **3** sets and **2**
+constraints, with ℓ₂/ℓ₃ sharing a consumed version and ℓ₄/ℓ₅ sharing
+another.  Our SVFG realises call sites as extra actual/formal nodes, so the
+SFS counts are larger than the simplified figure (11 sets, 14 edges) —
+the VSFS numbers match the paper exactly.
+"""
+
+import pytest
+
+from repro.bench.motivating import MOTIVATING_SOURCE, run_motivating_example
+from repro.core.versioning import ObjectVersioning
+from repro.frontend import compile_c
+from repro.pipeline import AnalysisPipeline
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_motivating_example()
+
+
+class TestPrecision:
+    def test_loads_before_weak_store_see_only_a(self, report):
+        assert report.observed["sink_l2"] == {"a"}
+        assert report.observed["sink_l3"] == {"a"}
+
+    def test_loads_after_join_see_a_and_b(self, report):
+        assert report.observed["sink_l4"] == {"a", "b"}
+        assert report.observed["sink_l5"] == {"a", "b"}
+
+
+class TestFigure2Counts:
+    def test_vsfs_stores_exactly_three_sets_for_o(self, report):
+        assert report.vsfs_ptsets_for_o1 == 3  # κ₁, κ₂, κ₁⊙κ₂
+
+    def test_vsfs_needs_exactly_two_constraints_for_o(self, report):
+        assert report.vsfs_constraints_for_o1 == 2  # κ₁→meld, κ₂→meld
+
+    def test_sfs_needs_strictly_more(self, report):
+        assert report.sfs_ptsets_for_o1 > report.vsfs_ptsets_for_o1
+        assert report.sfs_propagations_for_o1 > report.vsfs_constraints_for_o1
+        # the paper's fragment: at least 6 / 6
+        assert report.sfs_ptsets_for_o1 >= 6
+        assert report.sfs_propagations_for_o1 >= 6
+
+
+class TestFigure9Versions:
+    def test_early_loads_share_a_version(self, report):
+        assert report.consumed_versions["sink_l2"] == report.consumed_versions["sink_l3"]
+
+    def test_late_loads_share_a_version(self, report):
+        assert report.consumed_versions["sink_l4"] == report.consumed_versions["sink_l5"]
+
+    def test_the_two_groups_differ(self, report):
+        assert report.consumed_versions["sink_l2"] != report.consumed_versions["sink_l4"]
+
+    def test_all_versions_non_epsilon(self, report):
+        assert all(v != ObjectVersioning.EPSILON for v in report.consumed_versions.values())
+
+
+class TestSolverAgreement:
+    def test_sfs_vsfs_identical_on_fragment(self):
+        module = compile_c(MOTIVATING_SOURCE)
+        pipeline = AnalysisPipeline(module)
+        assert pipeline.sfs().snapshot() == pipeline.vsfs().snapshot()

@@ -1,0 +1,111 @@
+"""Property-based tests over randomly generated programs.
+
+The central invariant of the paper (§IV-E): on *any* program, VSFS computes
+exactly the same points-to information as SFS, and both stay within the
+auxiliary (Andersen) results.  The program generator drives the full
+pipeline, so every random example exercises frontend → partial SSA →
+Andersen → memory SSA → SVFG → both solvers.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.andersen import run_andersen
+from repro.bench.workloads import WorkloadConfig, generate_program, generate_source
+from repro.core.versioning import ObjectVersioning
+from repro.pipeline import AnalysisPipeline
+
+configs = st.builds(
+    WorkloadConfig,
+    name=st.just("prop"),
+    seed=st.integers(0, 10_000),
+    num_fields=st.integers(1, 4),
+    num_globals=st.integers(1, 4),
+    num_handlers=st.integers(0, 2),
+    num_functions=st.integers(1, 5),
+    stmts_per_function=st.integers(2, 8),
+    indirect_call_rate=st.floats(0.0, 0.5),
+    store_rate=st.floats(0.1, 0.5),
+    branch_rate=st.floats(0.0, 0.4),
+    loop_rate=st.floats(0.0, 0.3),
+    malloc_rate=st.floats(0.0, 0.3),
+    recursion_rate=st.floats(0.0, 0.1),
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestSolverEquivalence:
+    @given(configs)
+    @RELAXED
+    def test_vsfs_equals_sfs(self, config):
+        module = generate_program(config)
+        pipeline = AnalysisPipeline(module)
+        sfs = pipeline.sfs()
+        vsfs = pipeline.vsfs()
+        assert [sfs.pts_mask(v) for v in module.variables] == \
+            [vsfs.pts_mask(v) for v in module.variables]
+
+    @given(configs)
+    @RELAXED
+    def test_flow_sensitive_within_andersen(self, config):
+        module = generate_program(config)
+        pipeline = AnalysisPipeline(module)
+        andersen = run_andersen(module)
+        vsfs = pipeline.vsfs()
+        for var in module.variables:
+            fs = vsfs.pts_mask(var)
+            fi = andersen.pts_mask(var)
+            assert fs | fi == fi, f"VSFS exceeds Andersen at {var!r}"
+
+    @given(configs)
+    @RELAXED
+    def test_callgraphs_agree(self, config):
+        module = generate_program(config)
+        pipeline = AnalysisPipeline(module)
+        sfs = pipeline.sfs()
+        vsfs = pipeline.vsfs()
+        assert {(c.id, f.name) for c, f in sfs.callgraph.call_edges()} == \
+            {(c.id, f.name) for c, f in vsfs.callgraph.call_edges()}
+
+
+class TestVersioningProps:
+    @given(configs)
+    @RELAXED
+    def test_meld_strategies_agree(self, config):
+        module = generate_program(config)
+        pipeline = AnalysisPipeline(module)
+        scc = ObjectVersioning(pipeline.fresh_svfg()).run(
+            strategy="scc", release_masks=False)
+        fixpoint = ObjectVersioning(pipeline.fresh_svfg()).run(
+            strategy="fixpoint", release_masks=False)
+        assert scc.consumed_masks == fixpoint.consumed_masks
+        assert scc.yielded_masks == fixpoint.yielded_masks
+        assert scc.num_constraints() == fixpoint.num_constraints()
+
+    @given(configs)
+    @RELAXED
+    def test_generator_is_deterministic(self, config):
+        assert generate_source(config) == generate_source(config)
+
+    @given(configs)
+    @RELAXED
+    def test_stores_yield_unique_versions(self, config):
+        """[STORE]ᴾ: no two stores may yield the same version of an object."""
+        from repro.ir.instructions import StoreInst
+        from repro.svfg.nodes import InstNode
+
+        module = generate_program(config)
+        pipeline = AnalysisPipeline(module)
+        svfg = pipeline.fresh_svfg()
+        versioning = ObjectVersioning(svfg).run()
+        seen = set()
+        for node in svfg.nodes:
+            if isinstance(node, InstNode) and isinstance(node.inst, StoreInst):
+                for chi in svfg.memssa.store_chis.get(node.inst, ()):
+                    key = (chi.obj.id, versioning.yielded_version(node.id, chi.obj.id))
+                    assert key not in seen, "two stores share a yielded version"
+                    seen.add(key)

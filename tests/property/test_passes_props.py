@@ -1,0 +1,143 @@
+"""Property-based tests for the CFG analyses and the IR text round-trip."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.workloads import WorkloadConfig, generate_program
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir import BranchInst, Function, Module, RetInst
+from repro.passes.cfg import CFGInfo, reverse_postorder
+from repro.passes.dominators import DominatorTree, dominance_frontiers
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _random_cfg(num_blocks: int, edge_choices) -> Function:
+    """Build a function whose CFG follows *edge_choices* (pairs of block
+    indices); every block falls through into a branch or return."""
+    module = Module("prop")
+    func = Function("f")
+    module.add_function(func)
+    blocks = [func.add_block(f"b{i}") for i in range(num_blocks)]
+    succs = {i: [] for i in range(num_blocks)}
+    for a, b in edge_choices:
+        a, b = a % num_blocks, b % num_blocks
+        if b not in succs[a] and len(succs[a]) < 2:
+            succs[a].append(b)
+    for i, block in enumerate(blocks):
+        targets = succs[i]
+        if len(targets) == 2:
+            from repro.ir.values import Constant
+            from repro.ir.types import INT
+
+            block.append(BranchInst([blocks[targets[0]], blocks[targets[1]]],
+                                    Constant(0, INT)))
+        elif len(targets) == 1:
+            block.append(BranchInst([blocks[targets[0]]]))
+        else:
+            block.append(RetInst())
+    return func
+
+
+cfg_strategy = st.tuples(
+    st.integers(2, 10),
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20),
+)
+
+
+def _naive_dominators(func: Function):
+    """O(n²) dataflow dominators: Dom(b) = {b} ∪ ⋂ Dom(preds)."""
+    cfg = CFGInfo(func)
+    blocks = cfg.rpo
+    entry = blocks[0]
+    dom = {block: set(blocks) for block in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks[1:]:
+            preds = [p for p in cfg.preds[block] if p in dom]
+            new = set(blocks)
+            for pred in preds:
+                new &= dom[pred]
+            new |= {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+class TestDominatorsAgainstOracle:
+    @given(cfg_strategy)
+    @RELAXED
+    def test_idom_matches_naive_dominator_sets(self, spec):
+        num_blocks, edges = spec
+        func = _random_cfg(num_blocks, edges)
+        domtree = DominatorTree(func)
+        naive = _naive_dominators(func)
+        for block, doms in naive.items():
+            for other in doms:
+                assert domtree.dominates(other, block), (other.name, block.name)
+            # and nothing extra dominates
+            for other in naive:
+                if other not in doms:
+                    assert not domtree.dominates(other, block)
+
+    @given(cfg_strategy)
+    @RELAXED
+    def test_frontier_definition(self, spec):
+        """b ∈ DF(a) iff a dominates a pred of b but not strictly b."""
+        num_blocks, edges = spec
+        func = _random_cfg(num_blocks, edges)
+        domtree = DominatorTree(func)
+        frontiers = dominance_frontiers(domtree)
+        cfg = domtree.cfg
+        reachable = set(cfg.rpo)
+        for a in reachable:
+            expected = set()
+            for b in reachable:
+                preds = [p for p in cfg.preds[b] if p in reachable]
+                dominates_a_pred = any(domtree.dominates(a, p) for p in preds)
+                strictly = domtree.dominates(a, b) and a is not b
+                if dominates_a_pred and not strictly:
+                    expected.add(b)
+            assert frontiers[a] == expected, a.name
+
+    @given(cfg_strategy)
+    @RELAXED
+    def test_rpo_visits_preds_first_in_dags(self, spec):
+        num_blocks, edges = spec
+        func = _random_cfg(num_blocks, edges)
+        rpo = reverse_postorder(func)
+        index = {block: i for i, block in enumerate(rpo)}
+        # entry is first; every reachable block appears exactly once
+        assert rpo[0] is func.entry_block
+        assert len(set(rpo)) == len(rpo)
+
+
+workload_configs = st.builds(
+    WorkloadConfig,
+    name=st.just("roundtrip"),
+    seed=st.integers(0, 5000),
+    num_functions=st.integers(1, 4),
+    stmts_per_function=st.integers(2, 6),
+    num_globals=st.integers(1, 3),
+    num_handlers=st.integers(0, 2),
+    loop_rate=st.floats(0.0, 0.3),
+)
+
+
+class TestTextRoundTrip:
+    @given(workload_configs)
+    @RELAXED
+    def test_print_parse_print_fixpoint(self, config):
+        """Textual IR is a faithful serialisation: printing the parse of a
+        printed module reproduces the text exactly."""
+        module = generate_program(config)
+        text = print_module(module)
+        reparsed = parse_module(text, name=module.name)
+        assert print_module(reparsed) == text

@@ -1,0 +1,114 @@
+"""Property-based structural invariants of generated SVFGs."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.workloads import WorkloadConfig, generate_program
+from repro.ir.instructions import LoadInst, StoreInst
+from repro.pipeline import AnalysisPipeline
+from repro.svfg.nodes import (
+    ActualINNode,
+    ActualOUTNode,
+    FormalINNode,
+    FormalOUTNode,
+    InstNode,
+    MemPhiNode,
+)
+
+configs = st.builds(
+    WorkloadConfig,
+    name=st.just("svfgprop"),
+    seed=st.integers(0, 3000),
+    num_functions=st.integers(1, 5),
+    stmts_per_function=st.integers(2, 8),
+    num_globals=st.integers(1, 4),
+    num_handlers=st.integers(0, 2),
+    indirect_call_rate=st.floats(0.0, 0.4),
+)
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(configs)
+@RELAXED
+def test_indirect_edges_mirror(config):
+    """ind_preds and ind_succs describe the same edge set."""
+    svfg = AnalysisPipeline(generate_program(config)).svfg()
+    forward = {
+        (src, dst, oid)
+        for src in range(len(svfg.nodes))
+        for oid, dsts in svfg.ind_succs[src].items()
+        for dst in dsts
+    }
+    backward = {
+        (src, dst, oid)
+        for dst in range(len(svfg.nodes))
+        for src, oid in svfg.ind_preds[dst]
+    }
+    assert forward == backward
+    assert len(forward) == svfg.num_indirect_edges()
+
+
+@given(configs)
+@RELAXED
+def test_indirect_sources_are_definitions(config):
+    """Only nodes that can define an object version have outgoing
+    o-labelled edges: stores, MEMPHIs, entry-χ (FormalIN), call-χ
+    (ActualOUT) — plus ActualIN/FormalOUT relay nodes."""
+    svfg = AnalysisPipeline(generate_program(config)).svfg()
+    for node in svfg.nodes:
+        if not svfg.ind_succs[node.id]:
+            continue
+        if isinstance(node, InstNode):
+            assert isinstance(node.inst, StoreInst), node.describe()
+        else:
+            assert isinstance(
+                node,
+                (MemPhiNode, FormalINNode, FormalOUTNode, ActualINNode, ActualOUTNode),
+            ), node.describe()
+
+
+@given(configs)
+@RELAXED
+def test_loads_never_forward_indirect(config):
+    """Loads are pure uses of object versions (the paper's def-use edges go
+    definition → use, never through a load)."""
+    svfg = AnalysisPipeline(generate_program(config)).svfg()
+    for node in svfg.nodes:
+        if isinstance(node, InstNode) and isinstance(node.inst, LoadInst):
+            assert not svfg.ind_succs[node.id]
+
+
+@given(configs)
+@RELAXED
+def test_single_object_nodes_edge_labels_match(config):
+    """Actual/Formal IN/OUT and MEMPHI nodes only carry edges labelled with
+    their own object."""
+    svfg = AnalysisPipeline(generate_program(config)).svfg()
+    for node in svfg.nodes:
+        obj = getattr(node, "obj", None)
+        if obj is None:
+            continue
+        for oid in svfg.ind_succs[node.id]:
+            assert oid == obj.id, node.describe()
+        for __, oid in svfg.ind_preds[node.id]:
+            assert oid == obj.id, node.describe()
+
+
+@given(configs)
+@RELAXED
+def test_delta_nodes_have_no_build_time_otf_edges(config):
+    """δ consumes are only fed by build-time *direct-call* wiring or the
+    local bypass; indirect call sites start unconnected."""
+    module = generate_program(config)
+    pipeline = AnalysisPipeline(module)
+    svfg = pipeline.svfg()
+    from repro.ir.instructions import CallInst
+
+    for inst, node in svfg.inst_node.items():
+        if isinstance(inst, CallInst) and inst.is_indirect():
+            for function in module.functions.values():
+                assert not svfg.is_connected(inst, function)

@@ -1,0 +1,110 @@
+"""Unit tests for the benchmark harness modules."""
+
+import math
+
+import pytest
+
+from repro.bench.metrics import measure_analysis
+from repro.bench.tables import format_table2, format_table3, geometric_mean
+from repro.bench.runner import run_suite_program
+from repro.bench.workloads import (
+    SUITE,
+    WorkloadConfig,
+    generate_program,
+    generate_source,
+    suite_program,
+    suite_source_loc,
+)
+from repro.frontend import compile_c
+from repro.ir.verifier import verify_module
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self):
+        config = WorkloadConfig(seed=5)
+        assert generate_source(config) == generate_source(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_source(WorkloadConfig(seed=1))
+        b = generate_source(WorkloadConfig(seed=2))
+        assert a != b
+
+    def test_generated_source_compiles_and_verifies(self):
+        module = generate_program(WorkloadConfig(seed=11, num_functions=6))
+        verify_module(module, ssa=True)
+
+    @pytest.mark.parametrize("seed", range(20, 30))
+    def test_many_seeds_compile(self, seed):
+        config = WorkloadConfig(seed=seed, num_functions=4, stmts_per_function=6)
+        module = generate_program(config)
+        assert "main" in module.functions
+
+    def test_indirect_rate_zero_means_no_fnptr_calls(self):
+        from repro.ir.instructions import CallInst
+
+        config = WorkloadConfig(seed=3, indirect_call_rate=0.0, num_handlers=0)
+        module = generate_program(config)
+        indirect = [i for f in module.functions.values() for i in f.instructions()
+                    if isinstance(i, CallInst) and i.is_indirect()]
+        assert indirect == []
+
+    def test_size_knobs_scale_output(self):
+        small = generate_source(WorkloadConfig(seed=1, num_functions=3,
+                                               stmts_per_function=4))
+        large = generate_source(WorkloadConfig(seed=1, num_functions=12,
+                                               stmts_per_function=16))
+        assert large.count("\n") > 2 * small.count("\n")
+
+    def test_suite_has_fifteen_programs(self):
+        assert len(SUITE) == 15
+        assert list(SUITE)[0] == "du" and list(SUITE)[-1] == "hyriseConsole"
+
+    def test_suite_sizes_grow(self):
+        locs = [suite_source_loc(name) for name in SUITE]
+        assert locs[-1] > 3 * locs[0]
+
+    def test_suite_program_cached(self):
+        assert suite_program("du") is suite_program("du")
+        assert suite_program("du", cached=False) is not suite_program("du")
+
+
+class TestMetrics:
+    def test_measure_returns_stats(self):
+        from repro.pipeline import AnalysisPipeline
+
+        module = compile_c("int g; int main() { g = 1; return g; }")
+        pipeline = AnalysisPipeline(module)
+        pipeline.memssa()
+        measurement = measure_analysis("vsfs", lambda: pipeline.vsfs())
+        assert measurement.analysis == "vsfs"
+        assert measurement.wall_time > 0
+        assert measurement.peak_bytes > 0
+        assert measurement.stats is not None
+        assert measurement.stored_ptsets == measurement.stats.stored_ptsets
+
+    def test_measure_without_stats(self):
+        measurement = measure_analysis("misc", lambda: 42)
+        assert measurement.stats is None
+        assert measurement.propagations == 0
+
+
+class TestTables:
+    def test_geometric_mean(self):
+        assert math.isclose(geometric_mean([2, 8]), 4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0  # non-positive ignored
+
+    def test_tables_render(self):
+        result = run_suite_program("du")
+        table2 = format_table2([result])
+        table3 = format_table3([result])
+        assert "du" in table2 and "LOC" in table2
+        assert "Time diff." in table3 and "Average" in table3
+
+    def test_runner_checks_equivalence(self):
+        result = run_suite_program("du")
+        assert result.precision_identical()
+        assert result.svfg_stats.num_nodes > 0
+        assert result.sfs.wall_time > 0
+        assert result.time_speedup() > 0
+        assert result.propagation_ratio() > 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the repro-wpa command-line driver."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+SOURCE = """
+int *g; int x;
+int main() { g = &x; int *a; a = g; return 0; }
+"""
+
+IR_SOURCE = """
+func @main() {
+entry:
+  %p = alloca x
+  %q = load %p
+  ret
+}
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(IR_SOURCE)
+    return str(path)
+
+
+class TestArgParsing:
+    def test_default_analysis_is_vsfs(self):
+        args = build_arg_parser().parse_args(["prog.c"])
+        assert args.analysis == "vsfs"
+
+    @pytest.mark.parametrize("flag,name", [
+        ("-ander", "ander"), ("-fspta", "sfs"), ("-vfspta", "vsfs"),
+        ("-icfg-fspta", "icfg-fs"),
+    ])
+    def test_analysis_flags(self, flag, name):
+        args = build_arg_parser().parse_args([flag, "prog.c"])
+        assert args.analysis == name
+
+    def test_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["-ander", "-fspta", "prog.c"])
+
+
+class TestExecution:
+    def test_vsfs_run(self, c_file, capsys):
+        assert main(["-vfspta", c_file]) == 0
+        out = capsys.readouterr().out
+        assert "[vsfs]" in out and "versioning" in out
+
+    def test_sfs_run(self, c_file, capsys):
+        assert main(["-fspta", c_file]) == 0
+        assert "[sfs]" in capsys.readouterr().out
+
+    def test_ander_run(self, c_file, capsys):
+        assert main(["-ander", c_file]) == 0
+        assert "[ander]" in capsys.readouterr().out
+
+    def test_icfg_run(self, c_file, capsys):
+        assert main(["-icfg-fspta", c_file]) == 0
+        assert "[icfg-fs]" in capsys.readouterr().out
+
+    def test_stats_flag(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--stats"]) == 0
+        assert "SVFG:" in capsys.readouterr().out
+
+    def test_dump_pts(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--dump-pts"]) == 0
+        assert "pt(" in capsys.readouterr().out
+
+    def test_ir_input(self, ir_file, capsys):
+        assert main(["-vfspta", "--ir", ir_file, "--dump-pts"]) == 0
+        assert "pt(%p) = {x}" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["-vfspta", "/nonexistent/file.c"]) == 1
+        assert "repro-wpa:" in capsys.readouterr().err
+
+
+class TestClientFlags:
+    NULL_SRC = "int *g; int main() { return *g; }"
+
+    def test_check_null(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(self.NULL_SRC)
+        assert main(["-vfspta", str(path), "--check-null"]) == 0
+        out = capsys.readouterr().out
+        assert "null-dereference warnings: 1" in out
+
+    def test_check_null_requires_flow_sensitive(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(self.NULL_SRC)
+        assert main(["-ander", str(path), "--check-null"]) == 1
+
+    def test_dead_stores(self, tmp_path, capsys):
+        path = tmp_path / "dead.c"
+        path.write_text("int *g; int x; int main() { g = &x; return 0; }")
+        assert main(["-vfspta", str(path), "--dead-stores"]) == 0
+        assert "dead stores: 1" in capsys.readouterr().out
+
+    def test_dot_outputs(self, tmp_path, capsys, c_file):
+        svfg_path = tmp_path / "svfg.dot"
+        cg_path = tmp_path / "cg.dot"
+        assert main(["-vfspta", c_file,
+                     "--dot-svfg", str(svfg_path),
+                     "--dot-callgraph", str(cg_path)]) == 0
+        assert svfg_path.read_text().startswith('digraph "svfg"')
+        assert cg_path.read_text().startswith('digraph "callgraph"')

@@ -1,0 +1,238 @@
+"""Unit tests for the client analyses (aliases, null-deref, dead stores,
+slicing)."""
+
+import pytest
+
+from repro.clients.aliases import AliasOracle
+from repro.clients.deadstore import find_dead_stores
+from repro.clients.nullderef import find_null_derefs
+from repro.clients.slicer import ValueFlowSlicer
+from repro.frontend import compile_c
+from repro.ir.instructions import LoadInst, StoreInst
+from repro.pipeline import AnalysisPipeline
+
+
+class TestAliasOracle:
+    SRC = """
+        int x; int y;
+        void sink_p(int *v) { }
+        void sink_q(int *v) { }
+        void sink_r(int *v) { }
+        int main(int c) {
+            int *p; int *q; int *r;
+            p = &x;
+            if (c) { q = &x; } else { q = &y; }
+            r = &y;
+            sink_p(p); sink_q(q); sink_r(r);
+            return 0;
+        }
+    """
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        module = compile_c(self.SRC)
+        result = AnalysisPipeline(module).vsfs()
+        oracle = AliasOracle(module, result)
+        params = {
+            name: module.functions[name].params[0]
+            for name in ("sink_p", "sink_q", "sink_r")
+        }
+        return module, oracle, params
+
+    def test_may_alias(self, setup):
+        __, oracle, params = setup
+        assert oracle.may_alias(params["sink_p"], params["sink_q"])     # both may hit x
+        assert oracle.may_alias(params["sink_q"], params["sink_r"])     # both may hit y
+        assert not oracle.may_alias(params["sink_p"], params["sink_r"])
+
+    def test_pointees(self, setup):
+        __, oracle, params = setup
+        assert {o.name for o in oracle.pointees(params["sink_q"])} == {"x", "y"}
+        assert oracle.points_to_size(params["sink_q"]) == 2
+
+    def test_pointers_to(self, setup):
+        module, oracle, params = setup
+        x = next(o for o in module.objects if o.name == "x")
+        pointers = oracle.pointers_to(x)
+        assert params["sink_p"] in pointers and params["sink_q"] in pointers
+        assert params["sink_r"] not in pointers
+
+    def test_alias_pairs(self, setup):
+        __, oracle, params = setup
+        pairs = oracle.alias_pairs(params.values())
+        assert len(pairs) == 2
+
+    def test_null_like_and_average(self, setup):
+        module, oracle, params = setup
+        assert not oracle.is_null_like(params["sink_p"])
+        assert oracle.average_points_to_size() >= 1.0
+
+
+class TestNullDeref:
+    def test_use_before_init_flagged(self):
+        module = compile_c("""
+            int *g; int x;
+            int main() {
+                int v;
+                v = *g;          // before any store to g
+                g = &x;
+                v = *g;          // fine
+                return v;
+            }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_null_derefs(module, pipeline.vsfs(), pipeline.andersen())
+        assert len(report) == 1
+        assert report.warnings[0].kind == "load"
+        assert not report.warnings[0].flagged_by_auxiliary
+        assert len(report.flow_sensitive_only()) == 1
+
+    def test_initialised_pointer_clean(self):
+        module = compile_c("""
+            int *g; int x;
+            int main() { g = &x; return *g; }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_null_derefs(module, pipeline.vsfs(), pipeline.andersen())
+        assert len(report) == 0
+
+    def test_unreached_function_skipped(self):
+        module = compile_c("""
+            int *g;
+            int never_called() { return *g; }
+            int main() { return 0; }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_null_derefs(module, pipeline.vsfs(), pipeline.andersen())
+        assert len(report) == 0
+
+    def test_store_through_null_flagged(self):
+        module = compile_c("""
+            int *g;
+            int main() { *g = 4; return 0; }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_null_derefs(module, pipeline.vsfs(), pipeline.andersen())
+        assert len(report) == 1
+        assert report.warnings[0].kind == "store"
+        # Andersen agrees here: g is never initialised anywhere.
+        assert report.warnings[0].flagged_by_auxiliary
+
+    def test_describe_mentions_function(self):
+        module = compile_c("int *g; int main() { return *g; }")
+        pipeline = AnalysisPipeline(module)
+        report = find_null_derefs(module, pipeline.vsfs(), pipeline.andersen())
+        assert "@main" in report.warnings[0].describe()
+
+
+class TestDeadStores:
+    def test_unread_global_store_is_dead(self):
+        module = compile_c("""
+            int *g; int *h; int x;
+            void sink(int *p) { }
+            int main() {
+                g = &x;          // read below: observable
+                h = &x;          // never read: dead
+                sink(g);
+                return 0;
+            }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_dead_stores(module, pipeline.svfg())
+        dead_descriptions = [d.describe() for d in report]
+        assert len(report) == 1
+        assert "@h" in dead_descriptions[0] or "h" in dead_descriptions[0]
+        assert report.observable >= 1
+
+    def test_store_read_through_callee_is_observable(self):
+        module = compile_c("""
+            int *g; int x;
+            int *reader() { return g; }
+            void sink(int *p) { }
+            int main() { g = &x; sink(reader()); return 0; }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_dead_stores(module, pipeline.svfg())
+        assert len(report) == 0
+
+    def test_overwritten_then_read_both_observable(self):
+        # Reachability-based deadness is conservative: the first store can
+        # still flow (weak paths), so it is not reported.
+        module = compile_c("""
+            int *g; int x; int y;
+            void sink(int *p) { }
+            int main(int c) {
+                g = &x;
+                if (c) { g = &y; }
+                sink(g);
+                return 0;
+            }
+        """)
+        pipeline = AnalysisPipeline(module)
+        report = find_dead_stores(module, pipeline.svfg())
+        assert len(report) == 0
+
+
+class TestSlicer:
+    SRC = """
+        int *g; int *dead_g; int x; int y;
+        void sink(int *p) { }
+        int main() {
+            g = &x;
+            dead_g = &y;       // unrelated to the slice target
+            sink(g);
+            return 0;
+        }
+    """
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        module = compile_c(self.SRC)
+        pipeline = AnalysisPipeline(module)
+        svfg = pipeline.svfg()
+        return module, svfg, ValueFlowSlicer(svfg)
+
+    def test_backward_slice_contains_def_chain(self, setup):
+        module, svfg, slicer = setup
+        main = module.functions["main"]
+        sink_call = next(i for f in module.functions.values()
+                         for i in f.instructions()
+                         if getattr(i, "callee", None) is not None
+                         and not i.is_indirect() and i.callee.name == "sink")
+        insts = slicer.slice_instructions(slicer.backward_slice(sink_call))
+        texts = [repr(i) for i in insts]
+        assert any("load @g" in t for t in texts)
+        assert any("store @g" in t for t in texts)
+        assert not any("dead_g" in t and "store" in t for t in texts)
+
+    def test_forward_slice_from_store(self, setup):
+        module, svfg, slicer = setup
+        main = module.functions["main"]
+        store = next(i for i in main.instructions()
+                     if isinstance(i, StoreInst) and getattr(i.ptr, "name", "") == "g")
+        forward = slicer.forward_slice(store)
+        insts = slicer.slice_instructions(forward)
+        assert any(isinstance(i, LoadInst) for i in insts)
+
+    def test_slice_of_unrelated_store_is_small(self, setup):
+        module, svfg, slicer = setup
+        main = module.functions["main"]
+        dead_store = next(i for i in main.instructions()
+                          if isinstance(i, StoreInst)
+                          and getattr(i.ptr, "name", "") == "dead_g")
+        forward = slicer.forward_slice(dead_store)
+        insts = slicer.slice_instructions(forward)
+        assert not any(isinstance(i, LoadInst) for i in insts)
+
+    def test_describe_renders(self, setup):
+        __, __svfg, slicer = setup
+        text = slicer.describe(slicer.backward_slice(0))
+        assert isinstance(text, str)
+
+    def test_unknown_instruction_raises(self, setup):
+        module, __, slicer = setup
+        from repro.ir.instructions import RetInst
+
+        foreign = RetInst()
+        with pytest.raises(KeyError):
+            slicer.backward_slice(foreign)

@@ -1,0 +1,190 @@
+"""Unit tests for the extended mini-C syntax: break/continue, do-while,
+compound assignment, increment/decrement."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import compile_c
+from repro.pipeline import AnalysisPipeline
+
+
+def observed(module, result, sink_name):
+    param = module.functions[sink_name].params[0]
+    return {obj.name for obj in result.points_to(param)}
+
+
+def solve(src):
+    module = compile_c(src)
+    return module, AnalysisPipeline(module).vsfs()
+
+
+class TestBreakContinue:
+    def test_break_limits_flow(self):
+        module, result = solve("""
+            int *g; int x; int y;
+            void sink_a(int *p) { }
+            int main() {
+                int i;
+                for (i = 0; i < 10; i++) {
+                    g = &x;
+                    break;
+                    g = &y;            // unreachable
+                }
+                sink_a(g);
+                return 0;
+            }
+        """)
+        assert observed(module, result, "sink_a") == {"x"}
+
+    def test_continue_skips_rest_of_body(self):
+        module, result = solve("""
+            int *g; int x; int y;
+            void sink_a(int *p) { }
+            int main(int c) {
+                int i;
+                for (i = 0; i < 10; i++) {
+                    g = &x;
+                    if (c) { continue; }
+                    g = &y;
+                }
+                sink_a(g);
+                return 0;
+            }
+        """)
+        assert observed(module, result, "sink_a") == {"x", "y"}
+
+    def test_break_in_while(self):
+        module, result = solve("""
+            int *g; int x;
+            void sink_a(int *p) { }
+            int main() {
+                while (1) {
+                    g = &x;
+                    break;
+                }
+                sink_a(g);
+                return 0;
+            }
+        """)
+        assert observed(module, result, "sink_a") == {"x"}
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(ParseError, match="break outside"):
+            compile_c("int main() { break; return 0; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(ParseError, match="continue outside"):
+            compile_c("int main() { continue; return 0; }")
+
+    def test_nested_loops_break_innermost(self):
+        module = compile_c("""
+            int main() {
+                int i; int j; int n; n = 0;
+                for (i = 0; i < 3; i++) {
+                    for (j = 0; j < 3; j++) {
+                        if (j == 1) { break; }
+                        n += 1;
+                    }
+                }
+                return n;
+            }
+        """)
+        assert "main" in module.functions  # compiles and verifies
+
+
+class TestDoWhile:
+    def test_body_always_entered(self):
+        module, result = solve("""
+            int *g; int x;
+            void sink_a(int *p) { }
+            int main() {
+                int n; n = 0;
+                do {
+                    g = &x;
+                    n++;
+                } while (n < 3);
+                sink_a(g);
+                return 0;
+            }
+        """)
+        assert observed(module, result, "sink_a") == {"x"}
+
+    def test_do_while_block_names(self):
+        module = compile_c("""
+            int main() { int n; n = 0; do { n++; } while (n < 2); return n; }
+        """)
+        names = [b.name for b in module.functions["main"].blocks]
+        assert any("do.body" in n for n in names)
+        assert any("do.cond" in n for n in names)
+
+    def test_continue_in_do_while_goes_to_condition(self):
+        module = compile_c("""
+            int main(int c) {
+                int n; n = 0;
+                do { if (c) { continue; } n++; } while (n < 2);
+                return n;
+            }
+        """)
+        assert "main" in module.functions
+
+
+class TestCompoundOpsAndIncDec:
+    def test_compound_assignment(self):
+        module = compile_c("""
+            int main() { int n; n = 1; n += 2; n *= 3; n -= 1; n /= 2; return n; }
+        """)
+        assert "main" in module.functions
+
+    def test_prefix_and_postfix_increment(self):
+        module = compile_c("""
+            int main() { int i; i = 0; ++i; i++; --i; i--; return i; }
+        """)
+        assert "main" in module.functions
+
+    def test_increment_in_for_header(self):
+        module, result = solve("""
+            struct node { int v; struct node *next; };
+            struct node *head;
+            void sink_a(struct node *p) { }
+            int main() {
+                int i;
+                for (i = 0; i < 4; i++) {
+                    struct node *n = (struct node*)malloc(sizeof(struct node));
+                    n->next = head;
+                    head = n;
+                }
+                sink_a(head);
+                return 0;
+            }
+        """)
+        assert observed(module, result, "sink_a") != set()
+
+    def test_compound_on_pointer_field(self):
+        module = compile_c("""
+            struct ctr { int hits; };
+            struct ctr g;
+            int main() { g.hits += 1; return g.hits; }
+        """)
+        assert "main" in module.functions
+
+
+class TestSolverAgreementOnNewSyntax:
+    def test_sfs_equals_vsfs(self):
+        module = compile_c("""
+            int *g; int x; int y;
+            int main(int c) {
+                int i;
+                do {
+                    g = &x;
+                    if (c) { break; }
+                    g = &y;
+                } while (c);
+                for (i = 0; i < 3; i += 1) {
+                    if (i == 1) { continue; }
+                    g = &x;
+                }
+                return 0;
+            }
+        """)
+        pipeline = AnalysisPipeline(module)
+        assert pipeline.sfs().snapshot() == pipeline.vsfs().snapshot()

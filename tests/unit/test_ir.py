@@ -1,0 +1,263 @@
+"""Unit tests for the IR: builder, module registries, printer round-trips."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BranchInst,
+    Function,
+    IRBuilder,
+    Module,
+    ObjectKind,
+    RetInst,
+    Variable,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.values import FunctionObject
+
+
+def small_module():
+    module = Module("t")
+    b = IRBuilder(module)
+    b.function("main")
+    b.block("entry")
+    p = b.alloca("x")
+    q = b.malloc("h")
+    b.store(p, q)
+    r = b.load(p)
+    b.ret()
+    module.renumber()
+    return module, b, p, q, r
+
+
+class TestBuilder:
+    def test_alloc_kinds(self):
+        module, b, *_ = small_module()
+        kinds = [obj.kind for obj in module.objects]
+        assert ObjectKind.STACK in kinds and ObjectKind.HEAP in kinds
+
+    def test_ids_assigned(self):
+        module, *_ = small_module()
+        ids = [inst.id for inst in module.instructions()]
+        assert ids == sorted(ids) and ids[0] == 0
+
+    def test_variables_registered(self):
+        module, b, p, q, r = small_module()
+        assert p.id >= 0 and q.id >= 0 and r.id >= 0
+
+    def test_funentry_is_first_instruction(self):
+        module, *_ = small_module()
+        main = module.get_function("main")
+        assert main.entry_block.instructions[0] is main.entry_inst
+
+    def test_duplicate_function_rejected(self):
+        module = Module("t")
+        module.add_function(Function("f"))
+        with pytest.raises(IRError):
+            module.add_function(Function("f"))
+
+    def test_duplicate_block_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        b.block("entry")
+        with pytest.raises(ValueError):
+            b.block("entry")
+
+    def test_append_to_terminated_block_rejected(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        b.block("entry")
+        b.ret()
+        with pytest.raises(ValueError):
+            b.ret()
+
+    def test_addr_of_function(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        callee = b.function("callee")
+        b.function("main")
+        b.block("entry")
+        fp = b.addr_of_function(callee)
+        b.ret()
+        module.renumber()
+        assert isinstance(callee.obj, FunctionObject)
+        assert callee.obj.function is callee
+
+    def test_cond_br_structure(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        entry = b.block("entry")
+        then_b = b.block("then")
+        b.ret()
+        else_b = b.block("els")
+        b.ret()
+        b.switch_to(entry)
+        cond = b.cmp("lt", b.const(1), b.const(2))
+        b.cond_br(cond, then_b, else_b)
+        assert entry.successors() == [then_b, else_b]
+
+    def test_branch_arity_checked(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        blk = b.block("entry")
+        with pytest.raises(ValueError):
+            BranchInst([blk, blk])  # two targets need a condition
+
+
+class TestFieldObjects:
+    def test_offset_zero_is_base(self):
+        module = Module("t")
+        obj = module.new_object("s", ObjectKind.STACK, num_fields=3)
+        assert module.field_object(obj, 0) is obj
+
+    def test_field_objects_cached(self):
+        module = Module("t")
+        obj = module.new_object("s", ObjectKind.STACK, num_fields=3)
+        f1 = module.field_object(obj, 1)
+        assert module.field_object(obj, 1) is f1
+
+    def test_field_of_field_flattens(self):
+        module = Module("t")
+        obj = module.new_object("s", ObjectKind.STACK, num_fields=10)
+        inner = module.field_object(obj, 2)
+        nested = module.field_object(inner, 3)
+        assert nested.base is obj
+        assert nested.offset == 5
+
+    def test_out_of_bounds_collapses_to_base(self):
+        module = Module("t")
+        obj = module.new_object("s", ObjectKind.STACK, num_fields=2)
+        assert module.field_object(obj, 7) is obj
+
+    def test_unknown_layout_creates_fields(self):
+        module = Module("t")
+        obj = module.new_object("h", ObjectKind.HEAP)  # num_fields unknown
+        field = module.field_object(obj, 4)
+        assert field.is_field() and field.base is obj
+
+
+class TestModule:
+    def test_entry_function_prefers_init(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("main")
+        b.block("entry")
+        b.ret()
+        assert module.entry_function().name == "main"
+        init = b.ensure_init_function()
+        assert module.entry_function() is init
+
+    def test_entry_function_missing_raises(self):
+        with pytest.raises(IRError):
+            Module("t").entry_function()
+
+    def test_renumber_idempotent(self):
+        module, *_ = small_module()
+        first = [inst.id for inst in module.instructions()]
+        module.renumber()
+        assert [inst.id for inst in module.instructions()] == first
+
+
+class TestVerifier:
+    def test_good_module_verifies(self):
+        module, *_ = small_module()
+        verify_module(module, ssa=True)
+
+    def test_unterminated_block_caught(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        b.block("entry")
+        b.alloca("x")
+        with pytest.raises(IRError, match="not terminated"):
+            verify_module(module)
+
+    def test_double_definition_caught_in_ssa_mode(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        b.function("f")
+        b.block("entry")
+        v = Variable("v")
+        b.copy(b.const(0), dst=v)
+        b.copy(b.const(1), dst=v)
+        b.ret()
+        module.renumber()
+        with pytest.raises(IRError, match="definitions"):
+            verify_module(module, ssa=True)
+        verify_module(module, ssa=False)  # fine outside SSA mode
+
+    def test_call_arity_checked(self):
+        src = """
+        func @callee(%a, %b) {
+        entry:
+          ret
+        }
+        func @main() {
+        entry:
+          call @callee(%x)
+          ret
+        }
+        """
+        module = parse_module(src)
+        with pytest.raises(IRError, match="args"):
+            verify_module(module)
+
+
+class TestPrinterParserRoundTrip:
+    def test_round_trip_preserves_semantics(self):
+        src = """
+        func @main() {
+        entry:
+          %p = alloca x
+          %h = malloc heap, fields 2
+          store %p, %h
+          %r = load %p
+          %f = field %r, 1
+          %c = cmp lt 1, 2
+          br %c, a, b
+        a:
+          %y = copy %r
+          br c
+        b:
+          br c
+        c:
+          %m = phi [a: %y], [b: %r]
+          ret %m
+        }
+        """
+        module = parse_module(src)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    def test_parse_calls_and_funaddr(self):
+        src = """
+        func @f(%a) {
+        entry:
+          ret %a
+        }
+        func @main() {
+        entry:
+          %fp = funaddr @f
+          %r1 = call @f(%fp)
+          %r2 = call %fp(%r1)
+          ret
+        }
+        """
+        module = parse_module(src)
+        text = print_module(module)
+        assert "funaddr @f" in text
+        assert "call @f" in text
+        assert "call %fp" in text
+
+    def test_parse_error_reports_position(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_module("func @f( { }")

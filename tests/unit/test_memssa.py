@@ -1,0 +1,199 @@
+"""Unit tests for mod/ref analysis and memory SSA construction."""
+
+import pytest
+
+from repro.analysis.andersen import run_andersen
+from repro.analysis.modref import compute_modref
+from repro.datastructs.bitset import iter_bits
+from repro.frontend import compile_c
+from repro.ir import CallInst, LoadInst, StoreInst, parse_module
+from repro.memssa import build_memssa
+from repro.passes import prepare_module
+
+
+def setup(src, language="c"):
+    if language == "c":
+        module = compile_c(src)
+    else:
+        module = parse_module(src)
+        prepare_module(module, promote=False)
+    andersen = run_andersen(module)
+    modref = compute_modref(module, andersen)
+    return module, andersen, modref
+
+
+def obj_names(module, mask):
+    return {module.objects[oid].name for oid in iter_bits(mask)}
+
+
+class TestModRef:
+    SRC = """
+        int g;
+        void writer() { g = 1; }
+        int reader() { return g; }
+        void outer() { writer(); }
+        int main() { outer(); return reader(); }
+    """
+
+    def test_local_effects(self):
+        module, __, modref = setup(self.SRC)
+        writer = module.functions["writer"]
+        reader = module.functions["reader"]
+        assert obj_names(module, modref.mod[writer]) == {"g"}
+        assert obj_names(module, modref.mod[reader]) == set()
+        assert obj_names(module, modref.ref[reader]) == {"g"}
+
+    def test_transitive_propagation(self):
+        module, __, modref = setup(self.SRC)
+        outer = module.functions["outer"]
+        main = module.functions["main"]
+        assert obj_names(module, modref.mod[outer]) == {"g"}
+        assert obj_names(module, modref.mod[main]) == {"g"}
+        assert "g" in obj_names(module, modref.ref[main])
+
+    def test_in_objs_include_mod(self):
+        # A store-only callee still needs the object flowing in (weak
+        # updates observe the old value).
+        module, __, modref = setup(self.SRC)
+        writer = module.functions["writer"]
+        assert obj_names(module, modref.in_objs(writer)) == {"g"}
+
+    def test_out_objs_only_mod(self):
+        module, __, modref = setup(self.SRC)
+        reader = module.functions["reader"]
+        assert modref.out_objs(reader) == 0
+
+    def test_callsite_views(self):
+        module, __, modref = setup(self.SRC)
+        main = module.functions["main"]
+        calls = [i for i in main.instructions() if isinstance(i, CallInst)]
+        by_callee = {c.callee.name: c for c in calls}
+        assert obj_names(module, modref.call_chi_objs(by_callee["outer"])) == {"g"}
+        assert obj_names(module, modref.call_mu_objs(by_callee["reader"])) == {"g"}
+
+    def test_recursive_cycle_converges(self):
+        module, __, modref = setup("""
+            int g;
+            void even(int n) { g = n; if (n) { odd(n - 1); } }
+            void odd(int n) { if (n) { even(n - 1); } }
+            int main() { even(4); return g; }
+        """)
+        odd = module.functions["odd"]
+        assert "g" in obj_names(module, modref.mod[odd])  # via even
+
+
+class TestMemSSA:
+    def test_load_mu_and_store_chi(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main() { g = 1; return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        stores = [i for i in main.instructions() if isinstance(i, StoreInst)]
+        loads = [i for i in main.instructions() if isinstance(i, LoadInst)]
+        assert len(memssa.store_chis[stores[0]]) == 1
+        assert memssa.store_chis[stores[0]][0].obj.name == "g"
+        assert memssa.load_mus[loads[0]][0].obj.name == "g"
+
+    def test_versions_link_def_to_use(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main() { g = 1; return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        store = next(i for i in main.instructions() if isinstance(i, StoreInst))
+        load = next(i for i in main.instructions() if isinstance(i, LoadInst))
+        chi = memssa.store_chis[store][0]
+        mu = memssa.load_mus[load][0]
+        assert mu.ver == chi.new_ver  # straight line: load sees the store
+
+    def test_memphi_at_join(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main(int c) {
+                if (c) { g = 1; } else { g = 2; }
+                return g;
+            }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        phis = [p for p in memssa.memphis[main] if p.obj.name == "g"]
+        assert len(phis) == 1
+        assert len(phis[0].incomings) == 2
+        load = next(i for i in main.instructions() if isinstance(i, LoadInst))
+        assert memssa.load_mus[load][0].ver == phis[0].new_ver
+
+    def test_no_memphi_for_single_def(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main() { g = 1; return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        assert memssa.num_memphis() == 0
+
+    def test_entry_chi_and_exit_mu(self):
+        module, andersen, modref = setup("""
+            int g;
+            void writer() { g = 1; }
+            int main() { writer(); return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        writer = module.functions["writer"]
+        entry_objs = {chi.obj.name for chi in memssa.entry_chis[writer]}
+        exit_objs = {mu.obj.name for mu in memssa.exit_mus[writer]}
+        assert "g" in entry_objs and "g" in exit_objs
+
+    def test_call_annotations(self):
+        module, andersen, modref = setup("""
+            int g;
+            void writer() { g = 1; }
+            int main() { writer(); return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        call = next(i for i in main.instructions() if isinstance(i, CallInst))
+        assert {c.obj.name for c in memssa.call_chis[call]} == {"g"}
+        assert {m.obj.name for m in memssa.call_mus[call]} == {"g"}
+        # the load after the call consumes the call's chi version
+        load = next(i for i in main.instructions() if isinstance(i, LoadInst))
+        assert memssa.load_mus[load][0].ver == memssa.call_chis[call][0].new_ver
+
+    def test_loop_body_store_gets_memphi_at_header(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main() {
+                int i;
+                for (i = 0; i < 3; i = i + 1) { g = i; }
+                return g;
+            }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        phis = [p for p in memssa.memphis[main] if p.obj.name == "g"]
+        assert phis and any("for.cond" in p.block.name for p in phis)
+
+    def test_aliased_stores_annotate_both_objects(self):
+        module, andersen, modref = setup("""
+            int g1; int g2;
+            int main(int c) {
+                int *p;
+                if (c) { p = &g1; } else { p = &g2; }
+                *p = 9;
+                return g1 + g2;
+            }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        main = module.functions["main"]
+        store = next(i for i in main.instructions() if isinstance(i, StoreInst))
+        assert {c.obj.name for c in memssa.store_chis[store]} == {"g1", "g2"}
+
+    def test_annotation_counts_shape(self):
+        module, andersen, modref = setup("""
+            int g;
+            int main() { g = 1; return g; }
+        """)
+        memssa = build_memssa(module, andersen, modref)
+        counts = memssa.annotation_counts()
+        assert counts["store_chi"] >= 1 and counts["load_mu"] >= 1

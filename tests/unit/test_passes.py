@@ -1,0 +1,281 @@
+"""Unit tests for CFG analyses and transformation passes."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import AllocInst, LoadInst, Module, PhiInst, RetInst, StoreInst, parse_module
+from repro.passes.cfg import CFGInfo, reverse_postorder
+from repro.passes.dominators import (
+    DominatorTree,
+    dominance_frontiers,
+    iterated_dominance_frontier,
+)
+from repro.passes.loops import blocks_in_loops, find_back_edges
+from repro.passes.mem2reg import promote_allocas_function
+from repro.passes.singletons import mark_singletons
+from repro.passes.unify_returns import unify_returns
+
+
+DIAMOND = """
+func @f(%c) {
+entry:
+  br %c, left, right
+left:
+  br join
+right:
+  br join
+join:
+  ret
+}
+"""
+
+LOOP = """
+func @f(%c) {
+entry:
+  br header
+header:
+  br %c, body, exit
+body:
+  br header
+exit:
+  ret
+}
+"""
+
+
+def blocks_of(src, name="f"):
+    module = parse_module(src)
+    func = module.get_function(name)
+    return func, {block.name: block for block in func.blocks}
+
+
+class TestCFG:
+    def test_rpo_starts_at_entry(self):
+        func, blocks = blocks_of(DIAMOND)
+        rpo = reverse_postorder(func)
+        assert rpo[0] is blocks["entry"]
+        assert rpo[-1] is blocks["join"]
+
+    def test_rpo_skips_unreachable(self):
+        func, blocks = blocks_of("""
+        func @f() {
+        entry:
+          ret
+        dead:
+          ret
+        }
+        """)
+        assert blocks["dead"] not in reverse_postorder(func)
+
+    def test_preds_computed(self):
+        func, blocks = blocks_of(DIAMOND)
+        cfg = CFGInfo(func)
+        assert set(cfg.preds[blocks["join"]]) == {blocks["left"], blocks["right"]}
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        func, blocks = blocks_of(DIAMOND)
+        domtree = DominatorTree(func)
+        assert domtree.idom[blocks["left"]] is blocks["entry"]
+        assert domtree.idom[blocks["right"]] is blocks["entry"]
+        assert domtree.idom[blocks["join"]] is blocks["entry"]
+
+    def test_dominates_reflexive_and_entry(self):
+        func, blocks = blocks_of(DIAMOND)
+        domtree = DominatorTree(func)
+        assert domtree.dominates(blocks["entry"], blocks["join"])
+        assert domtree.dominates(blocks["join"], blocks["join"])
+        assert not domtree.dominates(blocks["left"], blocks["join"])
+
+    def test_frontier_of_diamond(self):
+        func, blocks = blocks_of(DIAMOND)
+        domtree = DominatorTree(func)
+        frontiers = dominance_frontiers(domtree)
+        assert frontiers[blocks["left"]] == {blocks["join"]}
+        assert frontiers[blocks["right"]] == {blocks["join"]}
+        assert frontiers[blocks["entry"]] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        func, blocks = blocks_of(LOOP)
+        domtree = DominatorTree(func)
+        frontiers = dominance_frontiers(domtree)
+        assert blocks["header"] in frontiers[blocks["body"]]
+        assert blocks["header"] in frontiers[blocks["header"]]
+
+    def test_iterated_frontier(self):
+        func, blocks = blocks_of(DIAMOND)
+        domtree = DominatorTree(func)
+        frontiers = dominance_frontiers(domtree)
+        idf = iterated_dominance_frontier(frontiers, [blocks["left"]])
+        assert idf == {blocks["join"]}
+
+    def test_preorder_parent_first(self):
+        func, blocks = blocks_of(DIAMOND)
+        domtree = DominatorTree(func)
+        order = domtree.preorder()
+        assert order.index(blocks["entry"]) == 0
+
+
+class TestLoops:
+    def test_back_edge_found(self):
+        func, blocks = blocks_of(LOOP)
+        edges = find_back_edges(func)
+        assert (blocks["body"], blocks["header"]) in edges
+
+    def test_loop_body_blocks(self):
+        func, blocks = blocks_of(LOOP)
+        body = blocks_in_loops(func)
+        assert blocks["header"] in body and blocks["body"] in body
+        assert blocks["entry"] not in body and blocks["exit"] not in body
+
+    def test_acyclic_has_no_loops(self):
+        func, __ = blocks_of(DIAMOND)
+        assert blocks_in_loops(func) == set()
+
+
+class TestUnifyReturns:
+    def test_multiple_returns_merged(self):
+        module = parse_module("""
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          ret %c
+        b:
+          ret %c
+        }
+        """)
+        assert unify_returns(module) == 1
+        func = module.get_function("f")
+        rets = [i for i in func.instructions() if isinstance(i, RetInst)]
+        assert len(rets) == 1
+        assert func.exit_inst() is rets[0]
+
+    def test_single_return_untouched(self):
+        module = parse_module("""
+        func @f() {
+        entry:
+          ret
+        }
+        """)
+        assert unify_returns(module) == 0
+
+    def test_distinct_values_need_phi(self):
+        module = parse_module("""
+        func @f(%c, %x, %y) {
+        entry:
+          br %c, a, b
+        a:
+          ret %x
+        b:
+          ret %y
+        }
+        """)
+        unify_returns(module)
+        func = module.get_function("f")
+        exit_block = func.block("unified_exit")
+        assert exit_block.phis()
+        ret = func.exit_inst()
+        assert ret is not None and ret.value is exit_block.phis()[0].dst
+
+
+class TestMem2Reg:
+    def test_straightline_promotion(self):
+        module = compile_c("int main() { int x; x = 1; int y; y = x; return y; }")
+        main = module.functions["main"]
+        assert not [i for i in main.instructions() if isinstance(i, (AllocInst, LoadInst, StoreInst))]
+
+    def test_join_inserts_phi_with_both_values(self):
+        module = compile_c("""
+            int g1; int g2;
+            int main(int c) {
+                int *p; p = &g1;
+                if (c) { p = &g2; }
+                *p = 1;
+                return 0;
+            }
+        """)
+        main = module.functions["main"]
+        phis = [i for i in main.instructions() if isinstance(i, PhiInst)]
+        assert len(phis) == 1
+        assert len(phis[0].incomings) == 2
+
+    def test_loop_variable_phi(self):
+        module = compile_c("""
+            int main() { int i; i = 0; while (i < 5) { i = i + 1; } return i; }
+        """)
+        main = module.functions["main"]
+        phis = [i for i in main.instructions() if isinstance(i, PhiInst)]
+        assert phis  # loop-carried value
+
+    def test_escaped_slot_not_promoted(self):
+        module = compile_c("""
+            int *keep(int *p) { return p; }
+            int main() { int x; int *p; p = keep(&x); *p = 1; return x; }
+        """)
+        main = module.functions["main"]
+        allocs = [i for i in main.instructions() if isinstance(i, AllocInst)]
+        assert any(a.obj.name == "x" for a in allocs)
+
+    def test_undef_read_resolves_to_constant(self):
+        # Read-before-write of a promoted local must not crash.
+        module = compile_c("int main() { int x; return x; }")
+        assert "main" in module.functions
+
+    def test_promotion_is_ssa(self):
+        from repro.ir.verifier import verify_module
+
+        module = compile_c("""
+            int main(int c) {
+                int a; a = 0;
+                if (c) { a = 1; } else { a = 2; }
+                while (a < 10) { a = a + a; }
+                return a;
+            }
+        """)
+        verify_module(module, ssa=True)
+
+
+class TestSingletons:
+    def test_global_scalar_is_singleton(self):
+        module = compile_c("int g; int main() { return 0; }")
+        g = next(o for o in module.objects if o.name == "g")
+        assert g.is_singleton
+
+    def test_heap_never_singleton(self):
+        module = compile_c("int main() { int *p = (int*)malloc(sizeof(int)); return 0; }")
+        heap = next(o for o in module.objects if o.kind.value == "heap")
+        assert not heap.is_singleton
+
+    def test_global_array_not_singleton(self):
+        module = compile_c("int a[8]; int main() { a[0] = 1; return 0; }")
+        arr = next(o for o in module.objects if o.name == "a")
+        assert not arr.is_singleton
+
+    def test_stack_in_loop_not_singleton(self):
+        module = compile_c("""
+            void sink(int *p) { *p = 1; }
+            int main() {
+                int i;
+                for (i = 0; i < 3; i = i + 1) { int x; sink(&x); }
+                return 0;
+            }
+        """)
+        x = next(o for o in module.objects if o.name == "x")
+        assert not x.is_singleton
+
+    def test_stack_in_recursive_function_not_singleton(self):
+        module = compile_c("""
+            void rec(int n) { int x; int *p; p = &x; *p = n; if (n) { rec(n - 1); } }
+            int main() { rec(3); return 0; }
+        """)
+        x = next(o for o in module.objects if o.name == "x")
+        assert not x.is_singleton
+
+    def test_plain_stack_slot_is_singleton(self):
+        module = compile_c("""
+            int main() { int x; int *p; p = &x; *p = 1; return x; }
+        """)
+        x = next(o for o in module.objects if o.name == "x")
+        assert x.is_singleton
