@@ -37,6 +37,25 @@ class BenchmarkMeasurement:
     def stored_ptsets(self) -> int:
         return self.stats.stored_ptsets if self.stats else 0
 
+    @property
+    def unions(self) -> int:
+        """Set-union operations applied during the solve."""
+        return self.stats.unions if self.stats else 0
+
+    @property
+    def unique_ptsets(self) -> int:
+        """Distinct points-to sets behind the stored references."""
+        return self.stats.unique_ptsets if self.stats else 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Stored references per distinct set (1.0 = no sharing)."""
+        return self.stats.dedup_ratio() if self.stats else 0.0
+
+    @property
+    def union_cache_hit_rate(self) -> float:
+        return self.stats.union_cache_hit_rate() if self.stats else 0.0
+
 
 def measure_analysis(
     label: str,

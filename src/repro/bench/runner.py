@@ -9,8 +9,9 @@ on-the-fly call graph resolution mutates the graph.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.metrics import BenchmarkMeasurement, measure_analysis
 from repro.bench.workloads import SUITE, suite_program, suite_source_loc
@@ -62,6 +63,61 @@ class SuiteResult:
         """Filled by run_suite_program: SFS and VSFS agree on every var."""
         return self._identical
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record: per-program times, counters, dedup stats."""
+
+        def measurement(meas: BenchmarkMeasurement) -> Dict[str, object]:
+            record: Dict[str, object] = {
+                "wall_time_s": meas.wall_time,
+                "peak_bytes": meas.peak_bytes,
+            }
+            stats = meas.stats
+            if stats is not None:
+                record.update(
+                    pre_time_s=stats.pre_time,
+                    solve_time_s=stats.solve_time,
+                    nodes_processed=stats.nodes_processed,
+                    propagations=stats.propagations,
+                    unions=stats.unions,
+                    strong_updates=stats.strong_updates,
+                    weak_updates=stats.weak_updates,
+                    stored_ptsets=stats.stored_ptsets,
+                    stored_ptset_bits=stats.stored_ptset_bits,
+                    unique_ptsets=stats.unique_ptsets,
+                    unique_ptset_bits=stats.unique_ptset_bits,
+                    dedup_ratio=stats.dedup_ratio(),
+                    union_cache_hits=stats.union_cache_hits,
+                    union_cache_misses=stats.union_cache_misses,
+                    union_cache_hit_rate=stats.union_cache_hit_rate(),
+                    delta_kernel=stats.delta_kernel,
+                    ptrepo_enabled=stats.ptrepo_enabled,
+                )
+            return record
+
+        svfg = self.svfg_stats
+        return {
+            "name": self.name,
+            "description": self.description,
+            "loc": self.loc,
+            "svfg": {
+                "nodes": svfg.num_nodes,
+                "direct_edges": svfg.num_direct_edges,
+                "indirect_edges": svfg.num_indirect_edges,
+                "top_level_vars": svfg.num_top_level_vars,
+                "address_taken_vars": svfg.num_address_taken_vars,
+            },
+            "andersen_time_s": self.andersen_time,
+            "sfs": measurement(self.sfs),
+            "vsfs": measurement(self.vsfs),
+            "ratios": {
+                "time_speedup": self.time_speedup(),
+                "memory_ratio": self.memory_ratio(),
+                "propagation_ratio": self.propagation_ratio(),
+                "stored_sets_ratio": self.stored_sets_ratio(),
+            },
+            "precision_identical": self.precision_identical(),
+        }
+
     _identical: bool = field(default=True, repr=False)
 
 
@@ -110,3 +166,61 @@ def run_suite_program(name: str, check_equivalence: bool = True) -> SuiteResult:
         vsfs_pt = vsfs_solver_holder["result"]._pt
         result._identical = sfs_pt == vsfs_pt
     return result
+
+
+def write_results_json(results: List[SuiteResult], path: str) -> None:
+    """Write ``BENCH_table3.json``-style output for downstream tooling."""
+    payload = {
+        "suite": [res.to_dict() for res in results],
+        "programs": [res.name for res in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.bench.runner [--json [PATH]] [PROGRAM ...]``."""
+    import argparse
+
+    from repro.bench.tables import format_table3
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.runner",
+        description="Run the suite benchmarks and print the Table III summary.",
+    )
+    parser.add_argument(
+        "programs", nargs="*", metavar="PROGRAM",
+        help=f"suite programs to run (default: all of {', '.join(SUITE)})",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="BENCH_table3.json", default=None,
+        metavar="PATH",
+        help="also write per-program times, counters and dedup stats as "
+             "JSON (default path: BENCH_table3.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json in SUITE:
+        # argparse greedily binds "--json du" as the PATH; a bare suite
+        # program name is never a sensible output file, so catch the slip
+        # instead of silently running all 15 programs.
+        parser.error(
+            f"--json consumed suite program {args.json!r} as its PATH; "
+            f"use --json=PATH or place --json after the program names"
+        )
+    names = args.programs or list(SUITE)
+    unknown = [name for name in names if name not in SUITE]
+    if unknown:
+        parser.error(f"unknown suite program(s): {', '.join(unknown)}")
+
+    results = [run_suite_program(name) for name in names]
+    print(format_table3(results))
+    if args.json is not None:
+        write_results_json(results, args.json)
+        print(f"wrote {args.json}")
+    return 0 if all(res.precision_identical() for res in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", action="store_true", help="print SVFG statistics")
     parser.add_argument("--dump-pts", action="store_true",
                         help="print points-to sets of top-level variables")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a solver work/dedup report (propagations, "
+                             "unions, unique vs referenced sets, union cache)")
+    parser.add_argument("--no-delta", action="store_true",
+                        help="disable the delta propagation kernel (SFS/VSFS)")
+    parser.add_argument("--no-ptrepo", action="store_true",
+                        help="disable deduplicated points-to storage (SFS/VSFS)")
     parser.add_argument("--check-null", action="store_true",
                         help="report dereferences through possibly-null pointers")
     parser.add_argument("--dead-stores", action="store_true",
@@ -78,7 +85,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"propagations: {stats.propagations}, stored sets: {stats.stored_ptsets}")
     else:
         pipeline.andersen()  # staged: auxiliary analysis runs first
-        result = pipeline.sfs() if args.analysis == "sfs" else pipeline.vsfs()
+        staged = pipeline.sfs if args.analysis == "sfs" else pipeline.vsfs
+        result = staged(delta=not args.no_delta, ptrepo=not args.no_ptrepo)
         stats = result.stats
         label = args.analysis
         print(f"[{label}] main phase: {stats.solve_time:.4f}s"
@@ -90,6 +98,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     print(f"peak analysis memory: {peak / 1024:.1f} KiB")
+
+    if args.profile:
+        from repro.solvers.base import SolverStats
+
+        stats = getattr(result, "stats", None)
+        if not isinstance(stats, SolverStats):
+            print("--profile needs a staged analysis (-fspta or -vfspta)",
+                  file=sys.stderr)
+            return 1
+        print("--- solver profile ---")
+        print(f"delta kernel: {'on' if stats.delta_kernel else 'off'}, "
+              f"points-to repository: {'on' if stats.ptrepo_enabled else 'off'}")
+        print(f"nodes processed: {stats.nodes_processed}, "
+              f"propagations: {stats.propagations}, unions applied: {stats.unions}")
+        print(f"stored points-to sets: {stats.stored_ptsets} "
+              f"({stats.stored_ptset_bits} bits)")
+        if stats.ptrepo_enabled:
+            print(f"unique points-to sets: {stats.unique_ptsets} "
+                  f"({stats.unique_ptset_bits} bits), "
+                  f"dedup ratio: {stats.dedup_ratio():.2f}x")
+            print(f"union cache: {stats.union_cache_hits} hits / "
+                  f"{stats.union_cache_misses} misses "
+                  f"({stats.union_cache_hit_rate():.1%} hit rate)")
 
     if args.stats:
         svfg_stats = pipeline.svfg().stats()

@@ -15,6 +15,13 @@ pre-analysis (:mod:`repro.core.versioning`).
 
 MEMPHI/ActualIN/ActualOUT/FormalIN/FormalOUT nodes need no processing at
 solve time: their behaviour is entirely compiled into version constraints.
+
+On top of the versioned formulation sit the same two switchable
+optimisations as SFS (:class:`StagedSolverBase`): the delta kernel, which
+forwards only the new bits (``new & ~old``) along version constraints and
+wakes a load/store only with the delta that concerns it, and the points-to
+repository, which stores each distinct version set once behind a memoised
+union cache.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.versioning import ObjectVersioning, version_objects
-from repro.datastructs.bitset import count_bits, iter_bits
+from repro.datastructs.bitset import iter_bits
 from repro.ir.function import Function
 from repro.ir.instructions import CallInst, LoadInst, StoreInst
 from repro.solvers.base import FlowSensitiveResult, StagedSolverBase
@@ -36,11 +43,13 @@ class VSFSAnalysis(StagedSolverBase):
 
     analysis_name = "vsfs"
 
-    def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None):
-        super().__init__(svfg)
+    def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
+                 delta: bool = True, ptrepo: bool = True):
+        super().__init__(svfg, delta=delta, ptrepo=ptrepo)
         self._given_versioning = versioning
         self.versioning: Optional[ObjectVersioning] = versioning
-        # Global points-to table: oid -> version id -> mask.
+        # Global points-to table: oid -> version id -> entry (a PTRepo id
+        # when ptrepo is on, a raw mask otherwise).
         self.ptv: Dict[int, List[int]] = {}
         # (oid, version) -> nodes that must re-run when the set grows.
         self.readers: Dict[Tuple[int, int], List[int]] = {}
@@ -54,6 +63,9 @@ class VSFSAnalysis(StagedSolverBase):
         versioning = self.versioning
 
         memssa = self.memssa
+        # Built as sets: a load/store touching the same (oid, ver) through
+        # two μ/χ annotations must not be pushed twice per growth.
+        readers: Dict[Tuple[int, int], set] = {}
         for node in self.svfg.nodes:
             if not isinstance(node, InstNode):
                 continue
@@ -61,11 +73,12 @@ class VSFSAnalysis(StagedSolverBase):
             if isinstance(inst, LoadInst):
                 for mu in memssa.load_mus.get(inst, ()):
                     ver = versioning.consumed_version(node.id, mu.obj.id)
-                    self.readers.setdefault((mu.obj.id, ver), []).append(node.id)
+                    readers.setdefault((mu.obj.id, ver), set()).add(node.id)
             elif isinstance(inst, StoreInst):
                 for chi in memssa.store_chis.get(inst, ()):
                     ver = versioning.consumed_version(node.id, chi.obj.id)
-                    self.readers.setdefault((chi.obj.id, ver), []).append(node.id)
+                    readers.setdefault((chi.obj.id, ver), set()).add(node.id)
+        self.readers = {key: sorted(nodes) for key, nodes in readers.items()}
         self.stats.pre_time = time.perf_counter() - start
 
     # ------------------------------------------------------- version tables
@@ -82,56 +95,105 @@ class VSFSAnalysis(StagedSolverBase):
         table = self.ptv.get(oid)
         if table is None or ver >= len(table):
             return 0
-        return table[ver]
+        return self._entry_mask(table[ver])
 
     def _ptv_join(self, oid: int, ver: int, mask: int) -> None:
-        """Grow pt_κ(o) and run [A-PROP]ⱽ transitively."""
+        """Grow pt_κ(o) and run [A-PROP]ⱽ transitively.
+
+        The delta kernel forwards only the bits each version had not seen;
+        the eager path re-merges and re-forwards whole masks.
+        """
         if not mask:
             return
         assert self.versioning is not None
         constraints = self.versioning.constraints
         readers = self.readers
+        repo = self.ptrepo
+        delta_mode = self.delta
+        worklist = self.worklist
+        stats = self.stats
         stack = [(oid, ver, mask)]
         while stack:
             oid, ver, mask = stack.pop()
             table = self._table(oid)
             while ver >= len(table):  # defensive: OTF-interned versions
                 table.append(0)
-            old = table[ver]
-            new = old | mask
-            if new == old:
-                continue
-            self.stats.unions += 1
-            table[ver] = new
-            for reader in readers.get((oid, ver), ()):
-                self.worklist.push(reader)
+            entry = table[ver]
+            old = repo.mask(entry) if repo is not None else entry
+            added = mask & ~old
+            if delta_mode:
+                if not added:
+                    continue
+                stats.unions += 1
+            else:
+                stats.unions += 1  # eager: union applied on every visit
+                if not added:
+                    continue
+            if repo is not None:
+                table[ver] = repo.union_mask(entry, added)
+            else:
+                table[ver] = old | added
+            if delta_mode:
+                for reader in readers.get((oid, ver), ()):
+                    worklist.push_delta(reader, oid, added)
+                forward = added
+            else:
+                for reader in readers.get((oid, ver), ()):
+                    worklist.push(reader)
+                forward = old | added
             for dst_ver in constraints.get((oid, ver), ()):
-                self.stats.propagations += 1
-                stack.append((oid, dst_ver, new))
+                stats.propagations += 1
+                stack.append((oid, dst_ver, forward))
 
     # -------------------------------------------------------------- mem rules
 
-    def _process_load(self, node: InstNode, inst: LoadInst) -> None:
+    def _process_load(self, node: InstNode, inst: LoadInst,
+                      dirty: Optional[Dict[int, int]] = None) -> None:
         """[LOAD]ⱽ: pt(p) ⊇ pt_{C_ℓ(o)}(o) for each o ∈ pt(q)."""
         assert self.versioning is not None
+        ptr_mask = self.value_mask(inst.ptr)
+        if dirty is not None:
+            # Deltas were pushed from exactly the (o, C_ℓ(o)) entries this
+            # load reads, so the new bits are all that can flow to pt(p).
+            mask = 0
+            for oid, delta in dirty.items():
+                if ptr_mask >> oid & 1:
+                    mask |= delta
+            if mask:
+                self.set_pt(inst.dst, mask)
+            return
         consumed = self.versioning.consumed[node.id]
         mask = 0
-        for oid in iter_bits(self.value_mask(inst.ptr)):
+        for oid in iter_bits(ptr_mask):
             ver = consumed.get(oid)
             if ver is not None:
                 mask |= self.ptv_mask(oid, ver)
         if mask:
             self.set_pt(inst.dst, mask)
 
-    def _process_store(self, node: InstNode, inst: StoreInst) -> None:
+    def _process_store(self, node: InstNode, inst: StoreInst,
+                       dirty: Optional[Dict[int, int]] = None) -> None:
         """[STORE]ⱽ + [SU/WU]ⱽ: write the yielded versions."""
         assert self.versioning is not None
         versioning = self.versioning
         ptr_mask = self.value_mask(inst.ptr)
-        gen = self.value_mask(inst.value)
         su_oid = self.strong_update_target(ptr_mask)
-        consumed = versioning.consumed[node.id]
         yielded = versioning.yielded[node.id]
+        if dirty is not None:
+            # Only consumed versions grew; gen and the pointer are
+            # unchanged, so each surviving delta flows through unchanged.
+            for oid, delta in dirty.items():
+                if oid == su_oid:
+                    continue  # killed: the consumed set does not survive
+                y_ver = yielded.get(oid)
+                if y_ver is None:
+                    continue
+                if ptr_mask >> oid & 1:
+                    self.stats.weak_updates += 1
+                self._ptv_join(oid, y_ver, delta)
+            return
+        gen = self.value_mask(inst.value)
+        consumed = versioning.consumed[node.id]
         for chi in self.memssa.store_chis.get(inst, ()):
             oid = chi.obj.id
             y_ver = yielded.get(oid)
@@ -149,7 +211,8 @@ class VSFSAnalysis(StagedSolverBase):
                 out = incoming  # pass-through (χ over-approximation)
             self._ptv_join(oid, y_ver, out)
 
-    def _process_mem_node(self, node: SVFGNode) -> None:
+    def _process_mem_node(self, node: SVFGNode,
+                          dirty: Optional[Dict[int, int]] = None) -> None:
         """MEMPHI and actual/formal IN/OUT nodes are fully compiled into
         version constraints — nothing to do at solve time."""
 
@@ -182,17 +245,12 @@ class VSFSAnalysis(StagedSolverBase):
     # --------------------------------------------------------------- summary
 
     def _memory_footprint(self) -> None:
-        sets = 0
-        bits = 0
-        for table in self.ptv.values():
-            for mask in table:
-                if mask:
-                    sets += 1
-                    bits += count_bits(mask)
-        self.stats.stored_ptsets = sets
-        self.stats.stored_ptset_bits = bits
+        self._finish_footprint(
+            entry for table in self.ptv.values() for entry in table
+        )
 
 
-def run_vsfs(svfg: SVFG, versioning: Optional[ObjectVersioning] = None) -> FlowSensitiveResult:
+def run_vsfs(svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
+             delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
     """Run VSFS over a built SVFG (versioning is computed if not supplied)."""
-    return VSFSAnalysis(svfg, versioning).run()
+    return VSFSAnalysis(svfg, versioning, delta=delta, ptrepo=ptrepo).run()

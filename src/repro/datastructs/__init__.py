@@ -10,7 +10,11 @@ chosen for speed under CPython:
   to dense integer ids; it is how meld-labelling results become version ids.
 - :class:`~repro.datastructs.worklist.WorkList` /
   :class:`~repro.datastructs.worklist.PriorityWorkList` drive the fixed-point
-  solvers.
+  solvers; :class:`~repro.datastructs.worklist.DeltaWorkList` additionally
+  carries per-``(node, object)`` dirty masks for the staged solvers' delta
+  propagation kernel.
+- :class:`~repro.datastructs.ptrepo.PTRepo` interns points-to masks to dense
+  ids and memoises pairwise unions, so byte-identical sets are stored once.
 - :class:`~repro.datastructs.unionfind.UnionFind` backs constraint-graph cycle
   collapsing in Andersen's analysis.
 - :class:`~repro.datastructs.graph.DiGraph` is a small adjacency-list digraph
@@ -21,8 +25,14 @@ chosen for speed under CPython:
 from repro.datastructs.bitset import BitSet, bits_of, count_bits, iter_bits
 from repro.datastructs.graph import DiGraph, strongly_connected_components, topological_order
 from repro.datastructs.interning import Interner
+from repro.datastructs.ptrepo import EMPTY_ID, PTRepo
 from repro.datastructs.unionfind import UnionFind
-from repro.datastructs.worklist import FIFOWorkList, PriorityWorkList, WorkList
+from repro.datastructs.worklist import (
+    DeltaWorkList,
+    FIFOWorkList,
+    PriorityWorkList,
+    WorkList,
+)
 
 __all__ = [
     "BitSet",
@@ -33,7 +43,10 @@ __all__ = [
     "strongly_connected_components",
     "topological_order",
     "Interner",
+    "EMPTY_ID",
+    "PTRepo",
     "UnionFind",
+    "DeltaWorkList",
     "FIFOWorkList",
     "PriorityWorkList",
     "WorkList",

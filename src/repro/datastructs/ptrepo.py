@@ -1,0 +1,111 @@
+"""Deduplicated points-to set repository (interner + memoised unions).
+
+Flow-sensitive analyses store the *same* points-to set many times: every
+SVFG node holding ``{a, b}`` for object ``o`` keeps its own copy, and the
+solver recomputes ``{a} ∪ {b}`` at each of them.  :class:`PTRepo` removes
+both redundancies, following the dedup idea of *Points-to Analysis Using
+MDE* (see PAPERS.md):
+
+- every distinct mask is **interned** to a dense id, so byte-identical sets
+  are stored once and solver tables hold small ids that all reference the
+  single shared big-int;
+- pairwise unions are **memoised**: ``union(a, b)`` consults an
+  ``(a, b) -> result`` cache before touching the masks, so a union the
+  solver already performed anywhere in the program costs one dict lookup.
+
+Id ``0`` is always the empty set, which keeps the truthiness of a stored
+entry identical to the truthiness of the mask it names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.datastructs.bitset import count_bits
+
+#: Id of the empty points-to set in every repository.
+EMPTY_ID = 0
+
+
+class PTRepo:
+    """Intern points-to masks to dense ids and memoise their unions.
+
+    >>> repo = PTRepo()
+    >>> a, b = repo.intern(0b011), repo.intern(0b110)
+    >>> repo.mask(repo.union(a, b))
+    7
+    >>> repo.union(a, b) == repo.union(b, a)  # cache is order-normalised
+    True
+    """
+
+    __slots__ = ("_ids", "_masks", "_union_cache", "union_calls", "union_hits")
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {0: EMPTY_ID}
+        self._masks: List[int] = [0]
+        self._union_cache: Dict[Tuple[int, int], int] = {}
+        self.union_calls = 0
+        self.union_hits = 0
+
+    # ------------------------------------------------------------- interning
+
+    def intern(self, mask: int) -> int:
+        """Return the id naming *mask*, allocating one if unseen."""
+        ident = self._ids.get(mask)
+        if ident is None:
+            ident = len(self._masks)
+            self._ids[mask] = ident
+            self._masks.append(mask)
+        return ident
+
+    def mask(self, ident: int) -> int:
+        """The mask an id names (the single shared copy)."""
+        return self._masks[ident]
+
+    def get(self, mask: int) -> "int | None":
+        """The id of *mask* if already interned, else None."""
+        return self._ids.get(mask)
+
+    # ---------------------------------------------------------------- unions
+
+    def union(self, a: int, b: int) -> int:
+        """Id of ``mask(a) | mask(b)``, memoised per unordered pair."""
+        if a == b or b == EMPTY_ID:
+            return a
+        if a == EMPTY_ID:
+            return b
+        key = (a, b) if a < b else (b, a)
+        self.union_calls += 1
+        cached = self._union_cache.get(key)
+        if cached is not None:
+            self.union_hits += 1
+            return cached
+        result = self.intern(self._masks[a] | self._masks[b])
+        self._union_cache[key] = result
+        return result
+
+    def union_mask(self, ident: int, mask: int) -> int:
+        """Id of ``mask(ident) | mask`` (interns *mask* first)."""
+        if not mask:
+            return ident
+        return self.union(ident, self.intern(mask))
+
+    # ----------------------------------------------------------------- stats
+
+    @property
+    def union_misses(self) -> int:
+        return self.union_calls - self.union_hits
+
+    def hit_rate(self) -> float:
+        """Fraction of union requests answered from the cache."""
+        return self.union_hits / self.union_calls if self.union_calls else 0.0
+
+    def __len__(self) -> int:
+        """Number of distinct non-empty sets interned."""
+        return len(self._masks) - 1
+
+    def total_bits(self, idents: "Iterable[int] | None" = None) -> int:
+        """Total set bits over *idents* (or every interned mask)."""
+        if idents is not None:
+            return sum(count_bits(self._masks[i]) for i in idents)
+        return sum(count_bits(mask) for mask in self._masks)

@@ -69,11 +69,11 @@ class AnalysisPipeline:
             self._versioning = version_objects(self.svfg())
         return self._versioning
 
-    def sfs(self) -> FlowSensitiveResult:
-        return SFSAnalysis(self.fresh_svfg()).run()
+    def sfs(self, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
+        return SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo).run()
 
-    def vsfs(self) -> FlowSensitiveResult:
-        return VSFSAnalysis(self.fresh_svfg()).run()
+    def vsfs(self, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
+        return VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo).run()
 
     def icfg_fs(self) -> FlowSensitiveResult:
         return ICFGFlowSensitive(self.module).run()

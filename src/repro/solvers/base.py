@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.callgraph import CallGraph
 from repro.datastructs.bitset import count_bits, iter_bits
+from repro.datastructs.ptrepo import PTRepo
+from repro.datastructs.worklist import DeltaWorkList, FIFOWorkList
 from repro.ir.function import Function
 from repro.ir.instructions import (
     AllocInst,
@@ -53,8 +55,17 @@ class SolverStats:
 
     ``propagations`` counts indirect (per-object) set propagations along
     SVFG edges / version constraints — the quantity VSFS reduces.
+    ``unions`` counts set-union operations *applied* to stored
+    address-taken points-to data: the eager path performs one per
+    propagation target, the delta kernel only when the forwarded bits
+    contain something new, so the gap between the two is exactly the
+    redundant set work the kernel removes.
     ``stored_ptsets``/``stored_ptset_bits`` describe the final memory
-    footprint of address-taken points-to data, the paper's memory story.
+    footprint of address-taken points-to data, the paper's memory story;
+    ``unique_ptsets``/``unique_ptset_bits`` are the deduplicated
+    counterparts (what a :class:`~repro.datastructs.ptrepo.PTRepo`
+    actually keeps), and ``union_cache_hits``/``union_cache_misses``
+    describe its memoised-union cache.
     """
 
     analysis: str = ""
@@ -67,12 +78,26 @@ class SolverStats:
     weak_updates: int = 0
     stored_ptsets: int = 0
     stored_ptset_bits: int = 0
+    unique_ptsets: int = 0
+    unique_ptset_bits: int = 0
+    union_cache_hits: int = 0
+    union_cache_misses: int = 0
     top_level_bits: int = 0
     callgraph_edges: int = 0
     indirect_calls_resolved: int = 0
+    delta_kernel: bool = False  # delta propagation enabled for this run
+    ptrepo_enabled: bool = False  # deduplicated storage enabled for this run
 
     def total_time(self) -> float:
         return self.pre_time + self.solve_time
+
+    def dedup_ratio(self) -> float:
+        """Referenced sets per unique set (1.0 = no sharing at all)."""
+        return self.stored_ptsets / self.unique_ptsets if self.unique_ptsets else 0.0
+
+    def union_cache_hit_rate(self) -> float:
+        calls = self.union_cache_hits + self.union_cache_misses
+        return self.union_cache_hits / calls if calls else 0.0
 
 
 class FlowSensitiveResult:
@@ -105,27 +130,53 @@ class FlowSensitiveResult:
 
 
 class StagedSolverBase:
-    """Worklist solver over the SVFG; see module docstring."""
+    """Worklist solver over the SVFG; see module docstring.
+
+    Two orthogonal performance features are configurable (both on by
+    default; the ablation benchmarks switch them off):
+
+    - ``delta``: the **delta propagation kernel** — the worklist carries
+      object-granular dirty deltas (:class:`DeltaWorkList`) so a popped
+      node re-propagates only the objects whose sets actually grew, and
+      propagation forwards only the new bits (``new & ~old``) instead of
+      whole masks;
+    - ``ptrepo``: **deduplicated storage** — IN/OUT / version-table
+      entries hold dense :class:`~repro.datastructs.ptrepo.PTRepo` ids
+      instead of raw masks, so byte-identical sets are stored once and
+      repeated unions hit a memoised cache.
+    """
 
     analysis_name = "base"
 
-    def __init__(self, svfg: SVFG):
+    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True):
         self.svfg = svfg
         self.module = svfg.module
         self.andersen = svfg.andersen
         self.memssa = svfg.memssa
         self.pt: List[int] = [0] * len(self.module.variables)
         self.callgraph = CallGraph(self.module)
-        self.stats = SolverStats(analysis=self.analysis_name)
-        # FIFO worklist of SVFG node ids with O(1) dedup.
-        from repro.datastructs.worklist import FIFOWorkList
-
-        self.worklist: FIFOWorkList[int] = FIFOWorkList()
+        self.delta = bool(delta)
+        self.ptrepo: Optional[PTRepo] = PTRepo() if ptrepo else None
+        self.stats = SolverStats(
+            analysis=self.analysis_name,
+            delta_kernel=self.delta,
+            ptrepo_enabled=ptrepo,
+        )
+        # Worklist of SVFG node ids with O(1) dedup; the delta kernel's
+        # variant additionally carries per-(node, object) dirty masks.
+        if self.delta:
+            self.worklist: "DeltaWorkList | FIFOWorkList[int]" = DeltaWorkList()
+        else:
+            self.worklist = FIFOWorkList()
         self._function_objects: Dict[int, Function] = {
             obj.id: obj.function
             for obj in self.module.objects
             if isinstance(obj, FunctionObject)
         }
+
+    def _entry_mask(self, entry: int) -> int:
+        """The mask a stored table entry denotes (repo id or raw mask)."""
+        return self.ptrepo.mask(entry) if self.ptrepo is not None else entry
 
     # ------------------------------------------------------------- top level
 
@@ -159,10 +210,23 @@ class StagedSolverBase:
         for node in self.svfg.nodes:
             if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
                 self.worklist.push(node.id)
-        while self.worklist:
-            node_id = self.worklist.pop()
-            self.stats.nodes_processed += 1
-            self._process(self.svfg.nodes[node_id])
+        worklist = self.worklist
+        nodes = self.svfg.nodes
+        processed = 0
+        if isinstance(worklist, DeltaWorkList):
+            pop_with_dirty = worklist.pop_with_dirty
+            process = self._process
+            while worklist:
+                node_id, dirty = pop_with_dirty()
+                processed += 1
+                process(nodes[node_id], dirty)
+        else:
+            pop = worklist.pop
+            process = self._process
+            while worklist:
+                processed += 1
+                process(nodes[pop()], None)
+        self.stats.nodes_processed = processed
         self.stats.solve_time = time.perf_counter() - start
         self.stats.callgraph_edges = self.callgraph.num_edges()
         self.stats.top_level_bits = sum(count_bits(mask) for mask in self.pt)
@@ -172,7 +236,14 @@ class StagedSolverBase:
     def _prepare(self) -> None:
         """Hook: pre-solve setup (VSFS runs versioning here)."""
 
-    def _process(self, node: SVFGNode) -> None:
+    def _process(self, node: SVFGNode, dirty: Optional[Dict[int, int]] = None) -> None:
+        """Apply *node*'s transfer rule.
+
+        *dirty* is the delta kernel's per-object dirty map (``None`` means
+        a full revisit): only the memory hooks consume it — the top-level
+        rules are cheap enough that re-running them fully is the faster
+        option under CPython.
+        """
         if isinstance(node, InstNode):
             inst = node.inst
             if isinstance(inst, AllocInst):
@@ -187,16 +258,16 @@ class StagedSolverBase:
             elif isinstance(inst, FieldInst):
                 self._process_field(inst)
             elif isinstance(inst, LoadInst):
-                self._process_load(node, inst)
+                self._process_load(node, inst, dirty)
             elif isinstance(inst, StoreInst):
-                self._process_store(node, inst)
+                self._process_store(node, inst, dirty)
             elif isinstance(inst, CallInst):
                 self._process_call(node, inst)
             elif isinstance(inst, RetInst):
                 self._process_ret(node, inst)
             # other instructions (binop/cmp/br/funentry) are pointer-neutral
         else:
-            self._process_mem_node(node)
+            self._process_mem_node(node, dirty)
 
     def _process_field(self, inst: FieldInst) -> None:
         base_mask = self.value_mask(inst.base)
@@ -251,13 +322,16 @@ class StagedSolverBase:
 
     # ------------------------------------------------------------- mem hooks
 
-    def _process_load(self, node: InstNode, inst: LoadInst) -> None:
+    def _process_load(self, node: InstNode, inst: LoadInst,
+                      dirty: Optional[Dict[int, int]] = None) -> None:
         raise NotImplementedError
 
-    def _process_store(self, node: InstNode, inst: StoreInst) -> None:
+    def _process_store(self, node: InstNode, inst: StoreInst,
+                       dirty: Optional[Dict[int, int]] = None) -> None:
         raise NotImplementedError
 
-    def _process_mem_node(self, node: SVFGNode) -> None:
+    def _process_mem_node(self, node: SVFGNode,
+                          dirty: Optional[Dict[int, int]] = None) -> None:
         raise NotImplementedError
 
     def _on_new_call_edge(self, call: CallInst, callee: Function, touched: List[int]) -> None:
@@ -268,6 +342,31 @@ class StagedSolverBase:
         raise NotImplementedError
 
     # --------------------------------------------------------------- helpers
+
+    def _finish_footprint(self, entries) -> None:
+        """Fill storage stats from every stored table entry (id or mask).
+
+        ``stored_ptsets`` counts referenced non-empty sets, ``unique_*``
+        their exact deduplication (what a repo physically keeps), and the
+        union-cache counters come from the repo when one is attached.
+        """
+        entry_mask = self._entry_mask
+        sets = 0
+        bits = 0
+        seen: Set[int] = set()
+        for entry in entries:
+            mask = entry_mask(entry)
+            if mask:
+                sets += 1
+                bits += count_bits(mask)
+                seen.add(mask)
+        self.stats.stored_ptsets = sets
+        self.stats.stored_ptset_bits = bits
+        self.stats.unique_ptsets = len(seen)
+        self.stats.unique_ptset_bits = sum(count_bits(mask) for mask in seen)
+        if self.ptrepo is not None:
+            self.stats.union_cache_hits = self.ptrepo.union_hits
+            self.stats.union_cache_misses = self.ptrepo.union_misses
 
     def strong_update_target(self, ptr_mask: int) -> Optional[int]:
         """If a store through *ptr_mask* may strong-update, the object id.

@@ -1,21 +1,30 @@
 """Staged flow-sensitive analysis (SFS) — the paper's baseline.
 
 Every SVFG node that touches address-taken memory keeps an ``IN`` map
-(object id → points-to mask); ``STORE`` nodes additionally keep an ``OUT``
+(object id → points-to set); ``STORE`` nodes additionally keep an ``OUT``
 map.  Points-to sets propagate along indirect edges from the OUT (or IN,
 for non-store nodes) of the source into the IN of the destination —
 Equations (6)/(7) of the paper.  This is *multiple-object* sparsity only:
 two nodes using identical points-to sets of the same object each store and
 receive their own copy, which is exactly the redundancy VSFS removes.
+
+Two layered optimisations (see :class:`StagedSolverBase`) attack that
+redundancy *within* SFS without changing its results:
+
+- the **delta kernel** forwards only the new bits (``new & ~old``) along
+  indirect edges and revisits a popped memory node only for the objects
+  whose sets actually grew (the worklist carries the dirty map);
+- the **points-to repository** stores every distinct set once — IN/OUT
+  entries are dense ids into a shared :class:`PTRepo` with memoised
+  pairwise unions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.datastructs.bitset import count_bits, iter_bits
+from repro.datastructs.bitset import iter_bits
 from repro.ir.instructions import LoadInst, StoreInst
-from repro.ir.values import Variable
 from repro.solvers.base import FlowSensitiveResult, StagedSolverBase
 from repro.svfg.builder import SVFG
 from repro.svfg.nodes import InstNode, SVFGNode
@@ -26,9 +35,10 @@ class SFSAnalysis(StagedSolverBase):
 
     analysis_name = "sfs"
 
-    def __init__(self, svfg: SVFG):
-        super().__init__(svfg)
-        # IN/OUT maps, lazily created per node id: {obj id -> mask}.
+    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True):
+        super().__init__(svfg, delta=delta, ptrepo=ptrepo)
+        # IN/OUT maps, lazily created per node id: {obj id -> entry}, where
+        # an entry is a PTRepo id (ptrepo on) or a raw mask (ptrepo off).
         self.in_sets: Dict[int, Dict[int, int]] = {}
         self.out_sets: Dict[int, Dict[int, int]] = {}
 
@@ -42,50 +52,120 @@ class SFSAnalysis(StagedSolverBase):
         return in_set
 
     def _propagate(self, node_id: int, oid: int, mask: int) -> None:
-        """A-PROP: push *mask* of object *oid* into successors' IN sets."""
+        """A-PROP: push *mask* of object *oid* into successors' IN sets.
+
+        Under the delta kernel *mask* is just the newly grown bits; only
+        the part a successor has not seen is merged and forwarded, so no
+        union is applied (or counted) for already-known information.
+        """
         if not mask:
             return
         succs = self.svfg.ind_succs[node_id].get(oid)
         if not succs:
             return
-        for succ in succs:
-            self.stats.propagations += 1
-            in_set = self._in(succ)
-            old = in_set.get(oid, 0)
-            new = old | mask
-            if new != old:
-                self.stats.unions += 1
-                in_set[oid] = new
-                self.worklist.push(succ)
+        repo = self.ptrepo
+        stats = self.stats
+        in_sets = self.in_sets
+        unions = 0
+        if self.delta:
+            push_delta = self.worklist.push_delta
+            for succ in succs:
+                in_set = in_sets.get(succ)
+                if in_set is None:
+                    in_set = in_sets[succ] = {}
+                entry = in_set.get(oid, 0)
+                old = repo.mask(entry) if repo is not None else entry
+                added = mask & ~old
+                if added:
+                    unions += 1
+                    if repo is not None:
+                        in_set[oid] = repo.union_mask(entry, added)
+                    else:
+                        in_set[oid] = old | added
+                    push_delta(succ, oid, added)
+        else:
+            push = self.worklist.push
+            for succ in succs:
+                in_set = in_sets.get(succ)
+                if in_set is None:
+                    in_set = in_sets[succ] = {}
+                unions += 1  # eager: a union is applied per target
+                entry = in_set.get(oid, 0)
+                if repo is not None:
+                    new = repo.union_mask(entry, mask)
+                else:
+                    new = entry | mask
+                if new != entry:
+                    in_set[oid] = new
+                    push(succ)
+        stats.propagations += len(succs)
+        stats.unions += unions
 
     # -------------------------------------------------------------- mem rules
 
-    def _process_load(self, node: InstNode, inst: LoadInst) -> None:
+    def _process_load(self, node: InstNode, inst: LoadInst,
+                      dirty: Optional[Dict[int, int]] = None) -> None:
         """[LOAD]: pt(p) ⊇ IN(o) for each o the pointer may target."""
+        ptr_mask = self.value_mask(inst.ptr)
+        if dirty is not None:
+            # Only IN grew (by the recorded deltas); the pointer operand is
+            # unchanged, so the new bits are all that can reach pt(dst).
+            mask = 0
+            for oid, delta in dirty.items():
+                if ptr_mask >> oid & 1:
+                    mask |= delta
+            if mask:
+                self.set_pt(inst.dst, mask)
+            return
         in_set = self.in_sets.get(node.id)
         if in_set is None:
             return
+        entry_mask = self._entry_mask
         mask = 0
-        for oid in iter_bits(self.value_mask(inst.ptr)):
-            value = in_set.get(oid)
-            if value:
-                mask |= value
+        for oid in iter_bits(ptr_mask):
+            entry = in_set.get(oid)
+            if entry:
+                mask |= entry_mask(entry)
         if mask:
             self.set_pt(inst.dst, mask)
 
-    def _process_store(self, node: InstNode, inst: StoreInst) -> None:
+    def _process_store(self, node: InstNode, inst: StoreInst,
+                       dirty: Optional[Dict[int, int]] = None) -> None:
         """[STORE] + [SU/WU]: OUT(o) = Gen ∪ (IN(o) − Kill), then A-PROP."""
         ptr_mask = self.value_mask(inst.ptr)
-        gen = self.value_mask(inst.value)
         su_oid = self.strong_update_target(ptr_mask)
-        in_set = self.in_sets.get(node.id, {})
         out_set = self.out_sets.setdefault(node.id, {})
+        repo = self.ptrepo
+        if dirty is not None:
+            # Only IN grew: the gen set and pointer are unchanged, so each
+            # dirty object's delta flows straight through OUT (unless this
+            # store strong-updates that object, which kills it).
+            for oid, delta in dirty.items():
+                if oid == su_oid:
+                    continue  # killed: the incoming set does not survive
+                entry = out_set.get(oid, 0)
+                old = repo.mask(entry) if repo is not None else entry
+                added = delta & ~old
+                if not added:
+                    continue
+                self.stats.unions += 1
+                if ptr_mask >> oid & 1:
+                    self.stats.weak_updates += 1
+                if repo is not None:
+                    out_set[oid] = repo.union_mask(entry, added)
+                else:
+                    out_set[oid] = old | added
+                self._propagate(node.id, oid, added)
+            return
+        gen = self.value_mask(inst.value)
+        in_set = self.in_sets.get(node.id, {})
+        entry_mask = self._entry_mask
         # The objects this store is responsible for are its χ annotations
         # (over-approximated by the auxiliary analysis) — they must flow
         # through even when the store does not (yet) write them.
         for chi in self.memssa.store_chis.get(inst, ()):
             oid = chi.obj.id
-            incoming = in_set.get(oid, 0)
+            incoming = entry_mask(in_set.get(oid, 0))
             if oid == su_oid:
                 out = gen  # strong update: kill the incoming set
                 self.stats.strong_updates += 1
@@ -94,39 +174,56 @@ class SFSAnalysis(StagedSolverBase):
                 self.stats.weak_updates += 1
             else:
                 out = incoming  # pass-through
-            old = out_set.get(oid, 0)
-            if out | old != old:
+            entry = out_set.get(oid, 0)
+            old = entry_mask(entry)
+            added = out & ~old  # monotone: already-propagated stays
+            if self.delta:
+                if not added:
+                    continue
                 self.stats.unions += 1
-            out_set[oid] = out | old  # monotone: already-propagated stays
-            self._propagate(node.id, oid, out_set[oid])
+                if repo is not None:
+                    out_set[oid] = repo.union_mask(entry, added)
+                else:
+                    out_set[oid] = old | added
+                self._propagate(node.id, oid, added)
+            else:
+                self.stats.unions += 1  # eager: union applied every visit
+                if repo is not None:
+                    out_set[oid] = repo.union_mask(entry, out)
+                else:
+                    out_set[oid] = old | out
+                self._propagate(node.id, oid, old | added)
 
-    def _process_mem_node(self, node: SVFGNode) -> None:
-        """MEMPHI / ActualIN / ActualOUT / FormalIN / FormalOUT: OUT = IN."""
+    def _process_mem_node(self, node: SVFGNode,
+                          dirty: Optional[Dict[int, int]] = None) -> None:
+        """MEMPHI / ActualIN / ActualOUT / FormalIN / FormalOUT: OUT = IN.
+
+        With the delta kernel a pop caused by set growth re-propagates
+        only the dirty objects' new bits; a full revisit (new edges wired
+        in by on-the-fly call graph resolution) pushes the whole IN map.
+        """
+        if dirty is not None:
+            for oid, delta in dirty.items():
+                self._propagate(node.id, oid, delta)
+            return
         in_set = self.in_sets.get(node.id)
         if not in_set:
             return
-        for oid, mask in in_set.items():
-            self._propagate(node.id, oid, mask)
+        entry_mask = self._entry_mask
+        for oid, entry in in_set.items():
+            self._propagate(node.id, oid, entry_mask(entry))
 
     # --------------------------------------------------------------- summary
 
     def _memory_footprint(self) -> None:
-        sets = 0
-        bits = 0
-        for table in self.in_sets.values():
-            for mask in table.values():
-                if mask:
-                    sets += 1
-                    bits += count_bits(mask)
-        for table in self.out_sets.values():
-            for mask in table.values():
-                if mask:
-                    sets += 1
-                    bits += count_bits(mask)
-        self.stats.stored_ptsets = sets
-        self.stats.stored_ptset_bits = bits
+        self._finish_footprint(
+            entry
+            for sets in (self.in_sets, self.out_sets)
+            for table in sets.values()
+            for entry in table.values()
+        )
 
 
-def run_sfs(svfg: SVFG) -> FlowSensitiveResult:
+def run_sfs(svfg: SVFG, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
     """Run staged flow-sensitive analysis over a built SVFG."""
-    return SFSAnalysis(svfg).run()
+    return SFSAnalysis(svfg, delta=delta, ptrepo=ptrepo).run()

@@ -146,6 +146,23 @@ def test_small_workload_sfs_within_icfg():
         assert sfs.pts_mask(v) | icfg.pts_mask(v) == icfg.pts_mask(v), repr(v)
 
 
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_optimisation_matrix_preserves_precision(name):
+    """Delta kernel and points-to repository are result-invisible: all four
+    (delta × ptrepo) configurations of both staged solvers agree bit for
+    bit with the eager full-mask baseline."""
+    module = compile_c(SCENARIOS[name])
+    pipeline = AnalysisPipeline(module)
+    baseline = masks(module, pipeline.sfs(delta=False, ptrepo=False))
+    for runner in (pipeline.sfs, pipeline.vsfs):
+        for delta in (False, True):
+            for ptrepo in (False, True):
+                result = runner(delta=delta, ptrepo=ptrepo)
+                assert masks(module, result) == baseline, (
+                    f"{runner.__name__}(delta={delta}, ptrepo={ptrepo}) diverged"
+                )
+
+
 def test_callgraphs_agree_between_sfs_and_vsfs():
     module = compile_c(SCENARIOS["callbacks"])
     pipeline = AnalysisPipeline(module)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench.metrics import measure_analysis
 from repro.bench.tables import format_table2, format_table3, geometric_mean
-from repro.bench.runner import run_suite_program
+from repro.bench.runner import run_suite_program, write_results_json
 from repro.bench.workloads import (
     SUITE,
     WorkloadConfig,
@@ -108,3 +108,62 @@ class TestTables:
         assert result.sfs.wall_time > 0
         assert result.time_speedup() > 0
         assert result.propagation_ratio() > 1.0
+
+    def test_table3_shows_dedup_stats(self):
+        result = run_suite_program("du")
+        table3 = format_table3([result])
+        assert "SFS uniq/ref" in table3 and "U-cache hit" in table3
+        stats = result.sfs.stats
+        assert f"{stats.unique_ptsets}/{stats.stored_ptsets}" in table3
+
+
+class TestJSONExport:
+    def test_write_results_json(self, tmp_path):
+        import json
+
+        result = run_suite_program("du")
+        path = tmp_path / "BENCH_table3.json"
+        write_results_json([result], str(path))
+        payload = json.loads(path.read_text())
+        assert payload["programs"] == ["du"]
+        (record,) = payload["suite"]
+        assert record["name"] == "du"
+        assert record["precision_identical"] is True
+        for solver in ("sfs", "vsfs"):
+            stats = record[solver]
+            assert stats["wall_time_s"] > 0
+            assert stats["propagations"] > 0
+            assert stats["unions"] > 0
+            assert stats["delta_kernel"] is True and stats["ptrepo_enabled"] is True
+            # The repository's whole point: far fewer unique sets than
+            # references to them, almost all unions served from cache.
+            assert 0 < stats["unique_ptsets"] < stats["stored_ptsets"]
+            assert stats["dedup_ratio"] > 1.0
+            assert stats["union_cache_hit_rate"] > 0.5
+        assert record["ratios"]["propagation_ratio"] > 1.0
+
+    def test_runner_main_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.runner import main
+
+        path = tmp_path / "out.json"
+        assert main(["--json", str(path), "du"]) == 0
+        out = capsys.readouterr().out
+        assert "Time diff." in out and str(path) in out
+        assert json.loads(path.read_text())["programs"] == ["du"]
+
+    def test_runner_main_rejects_unknown_program(self, capsys):
+        from repro.bench.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["not-a-program"])
+
+    def test_runner_main_catches_json_eating_program_name(self, capsys):
+        """``--json du`` binds "du" as the output PATH (argparse nargs='?');
+        the runner must reject it instead of silently running all 15."""
+        from repro.bench.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["--json", "du"])
+        assert "--json=PATH" in capsys.readouterr().err
