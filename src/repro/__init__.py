@@ -18,9 +18,16 @@ Quickstart::
 See :mod:`repro.pipeline` for staged access (shared SVFG, stats, etc.).
 """
 
+from repro.errors import BudgetExceeded, InjectedFault, ReproError
 from repro.frontend import compile_c
 from repro.pipeline import AnalysisPipeline, analyze, module_from
+from repro.runtime import Budget, FaultPlan, RunReport, solve_with_ladder
 
 __version__ = "1.0.0"
 
-__all__ = ["analyze", "compile_c", "AnalysisPipeline", "module_from", "__version__"]
+__all__ = [
+    "analyze", "compile_c", "AnalysisPipeline", "module_from",
+    "Budget", "FaultPlan", "RunReport", "solve_with_ladder",
+    "ReproError", "BudgetExceeded", "InjectedFault",
+    "__version__",
+]

@@ -30,7 +30,7 @@ from repro.datastructs.graph import DiGraph, strongly_connected_components
 from repro.datastructs.unionfind import UnionFind
 from repro.datastructs.worklist import FIFOWorkList
 from repro.analysis.callgraph import CallGraph
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, BudgetExceeded
 from repro.ir.function import Function
 from repro.ir.instructions import (
     AllocInst,
@@ -106,9 +106,10 @@ class AndersenAnalysis:
     #: Re-run SCC collapsing after this many worklist pops.
     COLLAPSE_PERIOD = 20_000
 
-    def __init__(self, module: Module, collapse_cycles: bool = True):
+    def __init__(self, module: Module, collapse_cycles: bool = True, meter=None):
         self.module = module
         self.collapse_cycles = collapse_cycles
+        self.meter = meter
         self.var_count = len(module.variables)
         size = self.var_count + len(module.objects)
         # Core solver state, indexed by constraint node.
@@ -298,11 +299,27 @@ class AndersenAnalysis:
 
     def run(self) -> AndersenResult:
         start = time.perf_counter()
+        meter = self.meter
+        try:
+            return self._run(start, meter)
+        except BudgetExceeded as exc:
+            self.stats.solve_time = time.perf_counter() - start
+            exc.attach(stage="andersen", stats=self.stats,
+                       partial_result=self._result())
+            raise
+
+    def _run(self, start: float, meter) -> AndersenResult:
+        if meter is not None:
+            meter.start()
+            meter.check()
+        tick = meter.tick if meter is not None else None
         self.initialise()
         if self.collapse_cycles:
             self._collapse_sccs()
         pops_since_collapse = 0
         while self.worklist:
+            if tick is not None:
+                tick()
             node = self.worklist.pop()
             rep = self.uf.find(node)
             if rep != node:
@@ -339,6 +356,7 @@ class AndersenAnalysis:
         return AndersenResult(self.module, var_pts, obj_pts, self.callgraph, self.stats)
 
 
-def run_andersen(module: Module, collapse_cycles: bool = True) -> AndersenResult:
+def run_andersen(module: Module, collapse_cycles: bool = True,
+                 meter=None) -> AndersenResult:
     """Convenience wrapper: run Andersen's analysis on *module*."""
-    return AndersenAnalysis(module, collapse_cycles).run()
+    return AndersenAnalysis(module, collapse_cycles, meter=meter).run()

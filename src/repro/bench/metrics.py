@@ -28,6 +28,8 @@ class BenchmarkMeasurement:
     wall_time: float
     peak_bytes: int
     stats: Optional[SolverStats] = None
+    #: RunReport when the run was governed (budgets / degradation ladder).
+    report: Optional[object] = None
 
     @property
     def propagations(self) -> int:
@@ -89,4 +91,5 @@ def measure_analysis(
         wall_time=wall,
         peak_bytes=peak,
         stats=stats if isinstance(stats, SolverStats) else None,
+        report=getattr(result, "report", None),
     )

@@ -7,9 +7,15 @@ Mirrors SVF's ``wpa`` tool from the paper's artifact::
     repro-wpa -vfspta program.c        # versioned SFS (the paper)
     repro-wpa -vfspta --ir program.ir  # textual IR input
     repro-wpa -vfspta --stats --dump-pts program.c
+    repro-wpa -vfspta --budget-seconds 5 --report program.c
 
 Prints timing/memory statistics and, with ``--dump-pts``, the points-to set
-of every top-level variable.
+of every top-level variable.  Budget flags govern the run: on exhaustion the
+analysis degrades down the ladder (``vsfs → sfs → andersen``) unless
+``--no-fallback`` is given.
+
+Exit codes: 0 success, 1 I/O error, 2 parse/IR error, 3 analysis error
+(including an exhausted budget under ``--no-fallback``).
 """
 
 from __future__ import annotations
@@ -19,7 +25,10 @@ import sys
 import tracemalloc
 from typing import List, Optional
 
+from repro.errors import IRError, ParseError, ReproError
 from repro.pipeline import AnalysisPipeline, module_from
+from repro.runtime.budget import Budget
+from repro.runtime.degrade import solve_with_ladder
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -48,6 +57,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="disable the delta propagation kernel (SFS/VSFS)")
     parser.add_argument("--no-ptrepo", action="store_true",
                         help="disable deduplicated points-to storage (SFS/VSFS)")
+    parser.add_argument("--budget-seconds", type=float, metavar="S",
+                        help="wall-clock budget for the solve phase")
+    parser.add_argument("--budget-mb", type=float, metavar="MB",
+                        help="traced-memory budget for the solve phase")
+    parser.add_argument("--max-steps", type=int, metavar="N",
+                        help="solver step (worklist pop) budget")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="fail with exit code 3 instead of degrading "
+                             "down the ladder when the budget is exhausted")
+    parser.add_argument("--report", action="store_true",
+                        help="print the run report (attempts, budget "
+                             "consumed, degradation)")
     parser.add_argument("--check-null", action="store_true",
                         help="report dereferences through possibly-null pointers")
     parser.add_argument("--dead-stores", action="store_true",
@@ -60,35 +81,68 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
+    if args.budget_seconds is None and args.budget_mb is None \
+            and args.max_steps is None:
+        return None
+    max_memory = None
+    if args.budget_mb is not None:
+        max_memory = int(args.budget_mb * 1024 * 1024)
+    return Budget(wall_seconds=args.budget_seconds, max_steps=args.max_steps,
+                  max_memory_bytes=max_memory)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: I/O errors exit 1, parse/IR errors 2, analysis errors 3."""
     args = build_arg_parser().parse_args(argv)
     try:
         with open(args.file) as handle:
             source = handle.read()
     except OSError as err:
-        print(f"repro-wpa: {err}", file=sys.stderr)
+        print(f"repro-wpa: error: {err}", file=sys.stderr)
         return 1
+    try:
+        return _run(args, source)
+    except ReproError as err:
+        print(f"repro-wpa: error: {err}", file=sys.stderr)
+        report = getattr(err, "run_report", None)
+        if args.report and report is not None:
+            print(report.render(), file=sys.stderr)
+        return 2 if isinstance(err, (ParseError, IRError)) else 3
 
+
+def _run(args: argparse.Namespace, source: str) -> int:
     module = module_from(source, language="ir" if args.ir else "c")
     pipeline = AnalysisPipeline(module)
 
     tracemalloc.start()
+    result = solve_with_ladder(
+        pipeline,
+        analysis=args.analysis,
+        budget=_budget_from(args),
+        fallback=not args.no_fallback,
+        delta=not args.no_delta,
+        ptrepo=not args.no_ptrepo,
+    )
+    run_report = result.report
+    if run_report.degraded:
+        print(f"repro-wpa: warning: {run_report.summary()}", file=sys.stderr)
+    stats = result.stats
+    label = getattr(stats, "analysis", "ander")
     if args.analysis == "ander":
-        result = pipeline.andersen()
         print(f"[ander] solve time: {result.stats.solve_time:.4f}s, "
               f"processed nodes: {result.stats.processed_nodes}, "
               f"copy edges: {result.stats.copy_edges}")
-    elif args.analysis == "icfg-fs":
-        result = pipeline.icfg_fs()
-        stats = result.stats
+    elif label == "icfg-fs":
         print(f"[icfg-fs] solve time: {stats.solve_time:.4f}s, "
               f"propagations: {stats.propagations}, stored sets: {stats.stored_ptsets}")
+    elif label == "andersen":
+        # Degraded: Andersen floor repackaged as a flow-sensitive result.
+        print(f"[andersen] fallback result (degraded from "
+              f"{run_report.degraded_from}): "
+              f"call edges: {stats.callgraph_edges}, "
+              f"top-level bits: {stats.top_level_bits}")
     else:
-        pipeline.andersen()  # staged: auxiliary analysis runs first
-        staged = pipeline.sfs if args.analysis == "sfs" else pipeline.vsfs
-        result = staged(delta=not args.no_delta, ptrepo=not args.no_ptrepo)
-        stats = result.stats
-        label = args.analysis
         print(f"[{label}] main phase: {stats.solve_time:.4f}s"
               + (f", versioning: {stats.pre_time:.4f}s" if label == "vsfs" else ""))
         print(f"[{label}] propagations: {stats.propagations}, unions: {stats.unions}, "
@@ -98,6 +152,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     print(f"peak analysis memory: {peak / 1024:.1f} KiB")
+
+    if args.report:
+        print(run_report.render())
 
     if args.profile:
         from repro.solvers.base import SolverStats

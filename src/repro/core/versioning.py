@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.datastructs.interning import Interner
+from repro.errors import AnalysisError
 from repro.ir.instructions import LoadInst, StoreInst
 from repro.svfg.builder import SVFG
 from repro.svfg.nodes import (
@@ -200,7 +201,7 @@ class ObjectVersioning:
             self.stats.consume_entries = sum(len(cons) for cons in self.consumed)
             self.stats.yield_entries = sum(len(y) for y in self.yielded)
         else:
-            raise ValueError(f"unknown meld strategy {strategy!r}")
+            raise AnalysisError(f"unknown meld strategy {strategy!r}")
         self.stats.versions = sum(self._version_counts.values())
         self.stats.time = time.perf_counter() - start
         return self

@@ -44,8 +44,9 @@ class VSFSAnalysis(StagedSolverBase):
     analysis_name = "vsfs"
 
     def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
-                 delta: bool = True, ptrepo: bool = True):
-        super().__init__(svfg, delta=delta, ptrepo=ptrepo)
+                 delta: bool = True, ptrepo: bool = True, meter=None, faults=None):
+        super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
+                         faults=faults)
         self._given_versioning = versioning
         self.versioning: Optional[ObjectVersioning] = versioning
         # Global points-to table: oid -> version id -> entry (a PTRepo id
@@ -105,6 +106,9 @@ class VSFSAnalysis(StagedSolverBase):
         """
         if not mask:
             return
+        faults = self.faults
+        if faults is not None:
+            faults.fire("propagate", self.analysis_name)
         assert self.versioning is not None
         constraints = self.versioning.constraints
         readers = self.readers
@@ -130,6 +134,8 @@ class VSFSAnalysis(StagedSolverBase):
                 if not added:
                     continue
             if repo is not None:
+                if faults is not None:
+                    faults.fire("ptrepo_union", self.analysis_name)
                 table[ver] = repo.union_mask(entry, added)
             else:
                 table[ver] = old | added
@@ -251,6 +257,8 @@ class VSFSAnalysis(StagedSolverBase):
 
 
 def run_vsfs(svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
-             delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
+             delta: bool = True, ptrepo: bool = True, meter=None,
+             faults=None) -> FlowSensitiveResult:
     """Run VSFS over a built SVFG (versioning is computed if not supplied)."""
-    return VSFSAnalysis(svfg, versioning, delta=delta, ptrepo=ptrepo).run()
+    return VSFSAnalysis(svfg, versioning, delta=delta, ptrepo=ptrepo,
+                        meter=meter, faults=faults).run()

@@ -2,9 +2,15 @@
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures without also catching programming errors.
+The CLI maps the hierarchy onto exit codes: I/O problems are 1, front-end
+failures (:class:`ParseError`, :class:`IRError`) are 2, and analysis-time
+failures (:class:`AnalysisError` and below, including budget exhaustion and
+injected faults) are 3.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple
 
 
 class ReproError(Exception):
@@ -18,15 +24,24 @@ class IRError(ReproError):
 class ParseError(ReproError):
     """Raised by the mini-C frontend and the textual IR parser.
 
-    Carries the source position of the offending token when available.
+    Carries the source position of the offending token when available:
+    ``line``/``column`` (0 = unknown), the combined ``pos`` pair, and
+    ``raw_message`` — the message without the position prefix, so callers
+    that format positions themselves (CLI, reports) never double-prefix.
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
-        if line:
+        self.raw_message = message
+        if line or column:
             message = f"{line}:{column}: {message}"
         super().__init__(message)
+
+    @property
+    def pos(self) -> Tuple[int, int]:
+        """``(line, column)`` of the offending token (0 = unknown)."""
+        return (self.line, self.column)
 
 
 class AnalysisError(ReproError):
@@ -35,3 +50,63 @@ class AnalysisError(ReproError):
 
 class SolverError(AnalysisError):
     """Raised when a points-to solver detects an internal inconsistency."""
+
+
+class BudgetExceeded(AnalysisError):
+    """A governed run exhausted its :class:`repro.runtime.budget.Budget`.
+
+    Raised cooperatively at worklist-pop granularity by every solver.  The
+    raising solver :meth:`attach`\\ es its context, so a caller holding the
+    exception can observe what was abandoned:
+
+    - ``resource``: which budget dimension ran out (``"wall"``, ``"steps"``
+      or ``"memory"``), with ``limit`` and ``used`` quantifying it;
+    - ``stage``: the analysis that was interrupted (``"vsfs"``, ``"sfs"``,
+      ``"andersen"``, ``"icfg-fs"``);
+    - ``stats``: the solver's counters at the moment of interruption;
+    - ``partial_result``: the partially-solved state.  **Diagnostic only**
+      — a partial fixpoint under-approximates the converged may-analysis
+      and must never be consumed as a sound result; the degradation ladder
+      (:mod:`repro.runtime.degrade`) exists to produce sound answers.
+    """
+
+    def __init__(self, message: str, resource: str = "", limit=None, used=None):
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.stage: Optional[str] = None
+        self.stats = None
+        self.partial_result = None
+        self.run_report = None  # filled by the degradation ladder on re-raise
+
+    def attach(self, stage: Optional[str] = None, stats=None,
+               partial_result=None) -> "BudgetExceeded":
+        """Record solver context; first writer wins (the innermost stage)."""
+        if stage is not None and self.stage is None:
+            self.stage = stage
+        if stats is not None and self.stats is None:
+            self.stats = stats
+        if partial_result is not None and self.partial_result is None:
+            self.partial_result = partial_result
+        return self
+
+
+class InjectedFault(SolverError):
+    """A deterministic fault fired by :mod:`repro.runtime.faults`.
+
+    Carries full stage context so tests can prove that faults never escape
+    as untyped exceptions: ``point`` is the instrumented trigger point
+    (``pre_meld``, ``otf_edge``, ``propagate``, ``ptrepo_union``),
+    ``stage`` the analysis it fired inside, and ``hit`` the 1-based count
+    of times that point had been reached.
+    """
+
+    def __init__(self, point: str = "", stage: str = "", hit: int = 0):
+        self.point = point
+        self.stage = stage
+        self.hit = hit
+        self.run_report = None  # filled by the degradation ladder on re-raise
+        super().__init__(
+            f"injected fault at {point!r} (hit #{hit}, stage {stage or 'unknown'})"
+        )

@@ -157,7 +157,10 @@ class _FunctionRenamer:
         while actions:
             kind, payload = actions.pop()
             if kind == "exit":
-                for oid, old in payload:  # type: ignore[union-attr]
+                # Replay in reverse: a block may define the same object more
+                # than once (MEMPHI then store-chi), and only the oldest
+                # snapshot restores the dominator's version.
+                for oid, old in reversed(payload):  # type: ignore[union-attr]
                     if old is None:
                         current.pop(oid, None)
                     else:

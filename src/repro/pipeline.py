@@ -21,6 +21,7 @@ from repro.ir.module import Module
 from repro.ir.parser import parse_module
 from repro.memssa.builder import MemSSA, build_memssa
 from repro.passes.pipeline import prepare_module
+from repro.runtime.degrade import solve_with_ladder
 from repro.solvers.base import FlowSensitiveResult
 from repro.solvers.icfg_fs import ICFGFlowSensitive
 from repro.solvers.sfs import SFSAnalysis
@@ -40,9 +41,9 @@ class AnalysisPipeline:
         self._svfg: Optional[SVFG] = None
         self._versioning: Optional[ObjectVersioning] = None
 
-    def andersen(self) -> AndersenResult:
+    def andersen(self, meter=None) -> AndersenResult:
         if self._andersen is None:
-            self._andersen = AndersenAnalysis(self.module).run()
+            self._andersen = AndersenAnalysis(self.module, meter=meter).run()
         return self._andersen
 
     def modref(self) -> ModRefInfo:
@@ -69,14 +70,18 @@ class AnalysisPipeline:
             self._versioning = version_objects(self.svfg())
         return self._versioning
 
-    def sfs(self, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
-        return SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo).run()
+    def sfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
+            faults=None) -> FlowSensitiveResult:
+        return SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
+                           meter=meter, faults=faults).run()
 
-    def vsfs(self, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
-        return VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo).run()
+    def vsfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
+             faults=None) -> FlowSensitiveResult:
+        return VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
+                            meter=meter, faults=faults).run()
 
-    def icfg_fs(self) -> FlowSensitiveResult:
-        return ICFGFlowSensitive(self.module).run()
+    def icfg_fs(self, meter=None) -> FlowSensitiveResult:
+        return ICFGFlowSensitive(self.module, meter=meter).run()
 
 
 def module_from(source: Union[str, Module], language: str = "c") -> Module:
@@ -92,23 +97,33 @@ def module_from(source: Union[str, Module], language: str = "c") -> Module:
     raise AnalysisError(f"unknown language {language!r} (want 'c' or 'ir')")
 
 
-def analyze(source: Union[str, Module], analysis: str = "vsfs", language: str = "c"):
-    """Run one analysis end to end.
+def analyze(source: Union[str, Module], analysis: str = "vsfs",
+            language: str = "c", budget=None, fallback: bool = True,
+            faults=None, delta: bool = True, ptrepo: bool = True):
+    """Run one analysis end to end, governed by the degradation ladder.
 
     :param source: a prepared :class:`Module`, mini-C source text, or
         textual IR (set ``language='ir'``).
     :param analysis: ``'ander'``, ``'sfs'``, ``'vsfs'`` (default) or
         ``'icfg-fs'``.
-    :returns: :class:`AndersenResult` or :class:`FlowSensitiveResult`.
+    :param budget: optional :class:`~repro.runtime.budget.Budget`; when it
+        is exhausted the run degrades down the ladder (or raises
+        :class:`~repro.errors.BudgetExceeded` with ``fallback=False``).
+    :param fallback: walk the degradation ladder on failure (default) —
+        the result's ``precision_level``/``degraded_from`` record what
+        actually ran; with ``False`` the first failure raises.
+    :param faults: optional :class:`~repro.runtime.faults.FaultPlan` for
+        deterministic fault injection (testing infrastructure).
+    :returns: :class:`AndersenResult` or :class:`FlowSensitiveResult`,
+        tagged with ``precision_level`` and a ``report``
+        (:class:`~repro.runtime.diagnostics.RunReport`).  Unbudgeted
+        fault-free runs produce bit-identical points-to results to the
+        ungoverned solvers.
     """
+    if analysis not in ANALYSES:
+        raise AnalysisError(f"unknown analysis {analysis!r}; choose from {ANALYSES}")
     module = module_from(source, language)
     pipeline = AnalysisPipeline(module)
-    if analysis == "ander":
-        return pipeline.andersen()
-    if analysis == "sfs":
-        return pipeline.sfs()
-    if analysis == "vsfs":
-        return pipeline.vsfs()
-    if analysis == "icfg-fs":
-        return pipeline.icfg_fs()
-    raise AnalysisError(f"unknown analysis {analysis!r}; choose from {ANALYSES}")
+    return solve_with_ladder(pipeline, analysis=analysis, budget=budget,
+                             fallback=fallback, faults=faults, delta=delta,
+                             ptrepo=ptrepo)

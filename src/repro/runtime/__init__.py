@@ -1,0 +1,40 @@
+"""Resource governance for analysis runs (reproduction infrastructure).
+
+This package turns the engine from a batch script into a service-grade
+component: every run can be **governed** (wall-clock / step / memory
+budgets, enforced cooperatively at worklist-pop granularity), every
+failure is **observable** (typed :class:`~repro.errors.ReproError`\\ s with
+stage context, :class:`RunReport` diagnostics) and **recoverable** (the
+degradation ladder ``vsfs → sfs → andersen`` trades precision for an
+answer instead of crashing).  None of it is paper semantics: budgets and
+fallback cannot change a converged result — see DESIGN.md §"Resource
+governance & degradation ladder".
+
+- :mod:`repro.runtime.budget` — :class:`Budget` / :class:`BudgetMeter`;
+- :mod:`repro.runtime.degrade` — the ladder and the Andersen floor;
+- :mod:`repro.runtime.faults` — deterministic fault injection;
+- :mod:`repro.runtime.diagnostics` — :class:`RunReport` attached to results.
+"""
+
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.degrade import (
+    LADDERS,
+    andersen_as_flow_sensitive,
+    run_ladder,
+    solve_with_ladder,
+)
+from repro.runtime.diagnostics import Attempt, RunReport
+from repro.runtime.faults import FAULT_POINTS, FaultPlan
+
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "FaultPlan",
+    "FAULT_POINTS",
+    "RunReport",
+    "Attempt",
+    "LADDERS",
+    "run_ladder",
+    "solve_with_ladder",
+    "andersen_as_flow_sensitive",
+]

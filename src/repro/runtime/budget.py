@@ -1,0 +1,149 @@
+"""Resource budgets for governed analysis runs.
+
+A :class:`Budget` declares limits (wall-clock seconds, solver steps, peak
+traced bytes); a :class:`BudgetMeter` enforces them cooperatively.  Every
+solver loop calls :meth:`BudgetMeter.tick` once per worklist pop, which is
+cheap — the step limit is an int compare, and the wall/memory probes run
+once per :data:`CHECK_INTERVAL` ticks (plus on the very first tick, so a
+zero budget trips before any real work).  When a limit is hit the meter
+raises :class:`~repro.errors.BudgetExceeded`; the interrupted solver
+attaches its stage, stats and partially-solved state before re-raising.
+
+One meter spans a whole governed run: the degradation ladder hands the
+same meter to every rung it tries, so a ``vsfs`` attempt that burns the
+step budget leaves nothing for the ``sfs`` retry and the run falls through
+to the Andersen floor immediately.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BudgetExceeded
+
+#: Wall/memory probes run every this-many ticks (and on the first tick).
+CHECK_INTERVAL = 64
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative resource limits for one analysis run.
+
+    ``None`` means unlimited in that dimension.  ``max_memory_bytes``
+    governs the ``tracemalloc`` peak of the run (the meter starts tracing
+    itself if nothing else has), matching how the benchmarks report memory.
+    """
+
+    wall_seconds: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_memory_bytes: Optional[int] = None
+
+    def is_unlimited(self) -> bool:
+        return (self.wall_seconds is None and self.max_steps is None
+                and self.max_memory_bytes is None)
+
+    def meter(self) -> "BudgetMeter":
+        """A fresh meter enforcing this budget."""
+        return BudgetMeter(self)
+
+    def describe(self) -> str:
+        parts = []
+        if self.wall_seconds is not None:
+            parts.append(f"wall {self.wall_seconds:g}s")
+        if self.max_steps is not None:
+            parts.append(f"steps {self.max_steps}")
+        if self.max_memory_bytes is not None:
+            parts.append(f"memory {self.max_memory_bytes / (1024 * 1024):g} MiB")
+        return ", ".join(parts) if parts else "unlimited"
+
+
+class BudgetMeter:
+    """Enforces one :class:`Budget` across one governed run.
+
+    Lifecycle: :meth:`start` begins the wall clock (and tracing, if a
+    memory limit is set and nothing traces yet); solvers :meth:`tick` per
+    worklist pop and may :meth:`check` at stage boundaries; the owner calls
+    :meth:`stop` when the run ends (stops tracing only if this meter
+    started it).  ``start`` is idempotent and implied by the first
+    ``tick``/``check``, so directly-constructed solvers work unaided.
+    """
+
+    __slots__ = ("budget", "steps", "_start", "_owns_tracing")
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self.steps = 0
+        self._start: Optional[float] = None
+        self._owns_tracing = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def started(self) -> bool:
+        return self._start is not None
+
+    def start(self) -> "BudgetMeter":
+        if self._start is None:
+            if self.budget.max_memory_bytes is not None and not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_tracing = True
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> None:
+        if self._owns_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracing = False
+
+    # ------------------------------------------------------------ observation
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since :meth:`start` (0.0 if never started)."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def peak_bytes(self) -> Optional[int]:
+        """Traced peak bytes, or ``None`` when tracing is off."""
+        if not tracemalloc.is_tracing():
+            return None
+        return tracemalloc.get_traced_memory()[1]
+
+    # ------------------------------------------------------------ enforcement
+
+    def tick(self) -> None:
+        """One unit of solver work (a worklist pop).  Raises on exhaustion."""
+        self.steps += 1
+        limit = self.budget.max_steps
+        if limit is not None and self.steps > limit:
+            raise BudgetExceeded(
+                f"step budget exhausted: limit {limit}, used {self.steps}",
+                resource="steps", limit=limit, used=self.steps,
+            )
+        if self.steps % CHECK_INTERVAL == 1 or CHECK_INTERVAL == 1:
+            self.check()
+
+    def check(self) -> None:
+        """Probe the wall clock and traced memory against their limits."""
+        if self._start is None:
+            self.start()
+        wall_limit = self.budget.wall_seconds
+        if wall_limit is not None:
+            elapsed = self.elapsed()
+            if elapsed > wall_limit:
+                raise BudgetExceeded(
+                    f"wall-clock budget exhausted: limit {wall_limit:g}s, "
+                    f"used {elapsed:.4f}s",
+                    resource="wall", limit=wall_limit, used=elapsed,
+                )
+        mem_limit = self.budget.max_memory_bytes
+        if mem_limit is not None:
+            peak = self.peak_bytes()
+            if peak is not None and peak > mem_limit:
+                raise BudgetExceeded(
+                    f"memory budget exhausted: limit {mem_limit} bytes, "
+                    f"traced peak {peak} bytes",
+                    resource="memory", limit=mem_limit, used=peak,
+                )

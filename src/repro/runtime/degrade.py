@@ -1,0 +1,163 @@
+"""Graceful degradation: budgets and faults cost precision, never answers.
+
+The ladder runs the requested analysis and, when a rung fails with a typed
+:class:`~repro.errors.ReproError` (budget exhaustion, an injected fault, a
+solver inconsistency) or a ``MemoryError``, retries on the next, cheaper
+rung instead of crashing::
+
+    vsfs  →  sfs  →  andersen
+    sfs   →  andersen
+    icfg-fs → andersen
+    ander →  andersen
+
+Soundness by construction: every rung is a sound may-analysis of the same
+program, and each is at most as precise as the one below it — so degrading
+returns a *superset* of the points-to sets the precise run would have
+produced, never a wrong answer.  The final Andersen rung is the staging
+analysis the flow-sensitive solvers are built on (it already ran to
+completion as their auxiliary analysis), which is why it can serve as the
+unconditional floor: when fallback is enabled the last rung runs
+ungoverned and fault-free, guaranteeing an answer even under a zero
+budget.
+
+One :class:`~repro.runtime.budget.BudgetMeter` spans all rungs, so the
+budget caps the whole governed run, not each attempt.  Partial solver
+state abandoned by a failed rung is *never* reused — a partial fixpoint
+under-approximates and would be unsound; it is kept only on the exception
+for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.andersen import AndersenResult
+from repro.datastructs.bitset import count_bits
+from repro.errors import AnalysisError, ReproError
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.diagnostics import RunReport
+from repro.solvers.base import FlowSensitiveResult, SolverStats
+
+#: Ladder per requested analysis, most precise first.
+LADDERS = {
+    "vsfs": ("vsfs", "sfs", "andersen"),
+    "sfs": ("sfs", "andersen"),
+    "icfg-fs": ("icfg-fs", "andersen"),
+    "ander": ("andersen",),
+}
+
+#: A rung: (precision level, thunk taking the shared meter — or None for
+#: the ungoverned floor — and returning a result).
+Rung = Tuple[str, Callable[[Optional[BudgetMeter]], object]]
+
+
+def andersen_as_flow_sensitive(andersen: AndersenResult,
+                               degraded_from: Optional[str] = None) -> FlowSensitiveResult:
+    """Repackage an Andersen result in the flow-sensitive result shape.
+
+    Sound by construction: Andersen is the staging analysis, so its sets
+    are supersets of what SFS/VSFS would compute.  The synthesised result
+    answers the same ``points_to``/``may_alias``/``snapshot`` API, letting
+    budget-exhausted callers keep working at reduced precision.
+    """
+    module = andersen.module
+    pt = [0] * len(module.variables)
+    for var in module.variables:
+        if 0 <= var.id < len(pt):
+            pt[var.id] = andersen.pts_mask(var)
+    stats = SolverStats(
+        analysis="andersen",
+        solve_time=andersen.stats.solve_time,
+        callgraph_edges=andersen.callgraph.num_edges(),
+        top_level_bits=sum(count_bits(mask) for mask in pt),
+    )
+    return FlowSensitiveResult(module, pt, andersen.callgraph, stats,
+                               precision_level="andersen",
+                               degraded_from=degraded_from)
+
+
+def run_ladder(rungs: Sequence[Rung], budget: Optional[Budget] = None,
+               fallback: bool = True, requested: Optional[str] = None,
+               ) -> Tuple[object, RunReport]:
+    """Try each rung in order under one shared meter; see module docstring.
+
+    With ``fallback`` the last rung runs ungoverned (the guaranteed
+    floor); without it, the first failure re-raises with the report
+    attached as ``exc.run_report``.  Returns ``(result, report)``.
+    """
+    if not rungs:
+        raise AnalysisError("run_ladder needs at least one rung")
+    requested = requested or rungs[0][0]
+    meter = budget.meter() if budget is not None else None
+    report = RunReport(requested=requested, budget=budget, fallback=fallback)
+    last = len(rungs) - 1
+    try:
+        if meter is not None:
+            meter.start()
+        for index, (level, thunk) in enumerate(rungs):
+            floor = fallback and index == last
+            rung_meter = None if floor else meter
+            try:
+                if rung_meter is not None:
+                    rung_meter.check()  # don't build a rung we can't afford
+                result = thunk(rung_meter)
+            except (ReproError, MemoryError) as exc:
+                report.record_attempt(level, error=exc, meter=meter)
+                if not fallback or index == last:
+                    report.finish(meter)
+                    exc.run_report = report
+                    raise
+                continue
+            report.record_attempt(level, meter=meter)
+            report.finish(meter, precision_level=level)
+            return result, report
+    finally:
+        if meter is not None:
+            meter.stop()
+    raise AssertionError("unreachable: ladder neither returned nor raised")
+
+
+def solve_with_ladder(pipeline, analysis: str = "vsfs",
+                      budget: Optional[Budget] = None, fallback: bool = True,
+                      faults=None, delta: bool = True, ptrepo: bool = True):
+    """Run *analysis* on *pipeline* under the degradation ladder.
+
+    Returns the usual result object, tagged with ``precision_level``,
+    ``degraded_from`` and a ``report`` (:class:`RunReport`).  Unbudgeted,
+    fault-free runs execute exactly the ungoverned solver path and are
+    bit-identical to calling the pipeline directly.
+    """
+    levels = LADDERS.get(analysis)
+    if levels is None:
+        raise AnalysisError(
+            f"unknown analysis {analysis!r}; choose from {tuple(LADDERS)}")
+    requested = "andersen" if analysis == "ander" else analysis
+
+    def make_rung(level: str) -> Rung:
+        if level == "vsfs":
+            return level, lambda meter: pipeline.vsfs(
+                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults)
+        if level == "sfs":
+            return level, lambda meter: pipeline.sfs(
+                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults)
+        if level == "icfg-fs":
+            return level, lambda meter: pipeline.icfg_fs(meter=meter)
+        # The Andersen rung takes no faults: it is the guaranteed floor.
+        return level, lambda meter: pipeline.andersen(meter=meter)
+
+    result, report = run_ladder([make_rung(level) for level in levels],
+                                budget=budget, fallback=fallback,
+                                requested=requested)
+    return _tag(result, analysis, report)
+
+
+def _tag(result, analysis: str, report: RunReport):
+    """Stamp precision metadata (and synthesise the fallback shape)."""
+    level = report.precision_level
+    degraded_from = report.degraded_from
+    if isinstance(result, AndersenResult) and analysis != "ander":
+        result = andersen_as_flow_sensitive(result, degraded_from=degraded_from)
+    result.precision_level = level
+    result.degraded_from = degraded_from
+    result.report = report
+    return result

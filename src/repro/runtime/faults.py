@@ -1,0 +1,86 @@
+"""Deterministic fault injection for the staged solvers.
+
+The solvers are instrumented at four trigger points — stage boundaries and
+the hot spots of the solve loops:
+
+- ``pre_meld``: the pre-solve stage boundary, immediately before the
+  versioning pre-analysis for VSFS (and before worklist seeding for SFS);
+- ``otf_edge``: a new call edge was discovered by on-the-fly call graph
+  resolution and is about to be wired into the SVFG;
+- ``propagate``: an indirect points-to propagation (SFS ``A-PROP`` /
+  VSFS ``[A-PROP]ⱽ``) is starting;
+- ``ptrepo_union``: a deduplicated-storage union is about to be applied
+  (only reachable with ``ptrepo`` enabled).
+
+A :class:`FaultPlan` decides, deterministically, whether a reached point
+fires.  Two trigger modes: *step-indexed* (fire on the N-th hit of a
+point) and *seeded probability* (a private ``random.Random(seed)`` stream,
+so two plans with the same seed fire identically).  Firing raises
+:class:`~repro.errors.InjectedFault` — a typed ``ReproError`` carrying the
+point, stage and hit count — which either surfaces to the caller or is
+absorbed by the degradation ladder, exactly like a real internal failure
+would be.  The integration suite proves both outcomes for the full
+point × solver × ablation matrix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError, InjectedFault
+
+#: Every instrumented trigger point, in pipeline order.
+FAULT_POINTS = ("pre_meld", "otf_edge", "propagate", "ptrepo_union")
+
+
+class FaultPlan:
+    """Decides when an instrumented trigger point raises.
+
+    :param point: which trigger point may fire (``"*"`` = any of them).
+    :param at_hit: fire on the N-th hit (1-based) of a matching point;
+        ignored when ``probability`` is given.
+    :param probability: fire each matching hit with this probability,
+        drawn from a ``random.Random(seed)`` stream (deterministic).
+    :param seed: seed for the probability stream.
+    :param once: disarm after the first firing (default) so a degraded
+        re-run on a lower ladder rung can complete.
+
+    ``hits`` counts every reached point (fired or not); ``fired`` records
+    ``(point, stage, hit)`` triples for each injection, so tests can assert
+    a fault actually happened rather than vacuously passing.
+    """
+
+    def __init__(self, point: str = "*", at_hit: int = 1,
+                 probability: Optional[float] = None, seed: int = 0,
+                 once: bool = True):
+        if point != "*" and point not in FAULT_POINTS:
+            raise AnalysisError(
+                f"unknown fault point {point!r}; choose from {FAULT_POINTS} or '*'"
+            )
+        if at_hit < 1:
+            raise AnalysisError(f"at_hit is 1-based, got {at_hit}")
+        self.point = point
+        self.at_hit = at_hit
+        self.probability = probability
+        self.once = once
+        self._rng = random.Random(seed)
+        self.hits: Dict[str, int] = {}
+        self.fired: List[Tuple[str, str, int]] = []
+
+    def _matches(self, point: str) -> bool:
+        return self.point == "*" or self.point == point
+
+    def fire(self, point: str, stage: str = "") -> None:
+        """Record a reached trigger point; raise if the plan says so."""
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        if not self._matches(point) or (self.once and self.fired):
+            return
+        if self.probability is not None:
+            trigger = self._rng.random() < self.probability
+        else:
+            trigger = hit == self.at_hit
+        if trigger:
+            self.fired.append((point, stage, hit))
+            raise InjectedFault(point=point, stage=stage, hit=hit)

@@ -24,6 +24,7 @@ from repro.analysis.callgraph import CallGraph
 from repro.datastructs.bitset import count_bits, iter_bits
 from repro.datastructs.ptrepo import PTRepo
 from repro.datastructs.worklist import DeltaWorkList, FIFOWorkList
+from repro.errors import BudgetExceeded
 from repro.ir.function import Function
 from repro.ir.instructions import (
     AllocInst,
@@ -107,11 +108,26 @@ class FlowSensitiveResult:
     address-taken precision is observable through the loads that read it.
     """
 
-    def __init__(self, module: Module, pt: List[int], callgraph: CallGraph, stats: SolverStats):
+    def __init__(self, module: Module, pt: List[int], callgraph: CallGraph,
+                 stats: SolverStats, precision_level: Optional[str] = None,
+                 degraded_from: Optional[str] = None, report=None,
+                 complete: bool = True):
         self.module = module
         self._pt = pt
         self.callgraph = callgraph
         self.stats = stats
+        #: Precision actually delivered ("vsfs", "sfs", "icfg-fs",
+        #: "andersen"); differs from the requested analysis after the
+        #: degradation ladder took a fallback.
+        self.precision_level = precision_level or stats.analysis
+        #: The analysis originally requested, when this result is a
+        #: graceful degradation of it (None otherwise).
+        self.degraded_from = degraded_from
+        #: RunReport of the governed run that produced this result.
+        self.report = report
+        #: False only on the diagnostic partial state attached to a
+        #: BudgetExceeded — an under-approximation, never a sound answer.
+        self.complete = complete
 
     def pts_mask(self, var: Variable) -> int:
         if var.id < 0 or var.id >= len(self._pt):
@@ -148,7 +164,8 @@ class StagedSolverBase:
 
     analysis_name = "base"
 
-    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True):
+    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
+                 meter=None, faults=None):
         self.svfg = svfg
         self.module = svfg.module
         self.andersen = svfg.andersen
@@ -157,6 +174,12 @@ class StagedSolverBase:
         self.callgraph = CallGraph(self.module)
         self.delta = bool(delta)
         self.ptrepo: Optional[PTRepo] = PTRepo() if ptrepo else None
+        # Resource governance (repro.runtime): a BudgetMeter ticked once
+        # per worklist pop, and a FaultPlan fired at the instrumented
+        # trigger points.  Both default to None, leaving the hot loops of
+        # an ungoverned run untouched.
+        self.meter = meter
+        self.faults = faults
         self.stats = SolverStats(
             analysis=self.analysis_name,
             delta_kernel=self.delta,
@@ -200,32 +223,65 @@ class StagedSolverBase:
     # ------------------------------------------------------------ main solve
 
     def run(self) -> FlowSensitiveResult:
-        self._prepare()  # fills stats.pre_time (versioning, for VSFS)
-        start = time.perf_counter()
-        # Seed the worklist with the rule-bearing instruction nodes; memory
-        # nodes (MEMPHI, actual/formal IN/OUT) only act once points-to data
-        # reaches them, which pushes them again.
-        seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
-                      StoreInst, CallInst, RetInst)
-        for node in self.svfg.nodes:
-            if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
-                self.worklist.push(node.id)
-        worklist = self.worklist
-        nodes = self.svfg.nodes
+        meter = self.meter
         processed = 0
-        if isinstance(worklist, DeltaWorkList):
-            pop_with_dirty = worklist.pop_with_dirty
-            process = self._process
-            while worklist:
-                node_id, dirty = pop_with_dirty()
-                processed += 1
-                process(nodes[node_id], dirty)
-        else:
-            pop = worklist.pop
-            process = self._process
-            while worklist:
-                processed += 1
-                process(nodes[pop()], None)
+        begun = time.perf_counter()
+        try:
+            if meter is not None:
+                meter.start()
+                meter.check()  # a zero budget trips before any work
+            if self.faults is not None:
+                # Pre-solve stage boundary (immediately before the
+                # versioning pre-analysis, for VSFS).
+                self.faults.fire("pre_meld", self.analysis_name)
+            self._prepare()  # fills stats.pre_time (versioning, for VSFS)
+            start = time.perf_counter()
+            # Seed the worklist with the rule-bearing instruction nodes; memory
+            # nodes (MEMPHI, actual/formal IN/OUT) only act once points-to data
+            # reaches them, which pushes them again.
+            seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
+                          StoreInst, CallInst, RetInst)
+            for node in self.svfg.nodes:
+                if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
+                    self.worklist.push(node.id)
+            worklist = self.worklist
+            nodes = self.svfg.nodes
+            tick = meter.tick if meter is not None else None
+            if isinstance(worklist, DeltaWorkList):
+                pop_with_dirty = worklist.pop_with_dirty
+                process = self._process
+                if tick is None:
+                    while worklist:
+                        node_id, dirty = pop_with_dirty()
+                        processed += 1
+                        process(nodes[node_id], dirty)
+                else:
+                    while worklist:
+                        tick()
+                        node_id, dirty = pop_with_dirty()
+                        processed += 1
+                        process(nodes[node_id], dirty)
+            else:
+                pop = worklist.pop
+                process = self._process
+                if tick is None:
+                    while worklist:
+                        processed += 1
+                        process(nodes[pop()], None)
+                else:
+                    while worklist:
+                        tick()
+                        processed += 1
+                        process(nodes[pop()], None)
+        except BudgetExceeded as exc:
+            self.stats.nodes_processed = processed
+            self.stats.solve_time = time.perf_counter() - begun
+            exc.attach(
+                stage=self.analysis_name, stats=self.stats,
+                partial_result=FlowSensitiveResult(
+                    self.module, self.pt, self.callgraph, self.stats,
+                    complete=False))
+            raise
         self.stats.nodes_processed = processed
         self.stats.solve_time = time.perf_counter() - start
         self.stats.callgraph_edges = self.callgraph.num_edges()
@@ -295,6 +351,8 @@ class StagedSolverBase:
             if callee.is_declaration:
                 continue
             if self.callgraph.add_edge(call, callee):
+                if self.faults is not None:
+                    self.faults.fire("otf_edge", self.analysis_name)
                 if call.is_indirect():
                     self.stats.indirect_calls_resolved += 1
                 touched = self.svfg.connect_callsite(call, callee)

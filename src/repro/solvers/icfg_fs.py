@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.callgraph import CallGraph
 from repro.datastructs.bitset import count_bits, iter_bits
 from repro.datastructs.worklist import FIFOWorkList
+from repro.errors import BudgetExceeded
 from repro.ir.function import Function
 from repro.ir.instructions import (
     AllocInst,
@@ -50,8 +51,9 @@ class ICFGFlowSensitive:
 
     analysis_name = "icfg-fs"
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, meter=None):
         self.module = module
+        self.meter = meter
         self.pt: List[int] = [0] * len(module.variables)
         self.in_sets: Dict[Instruction, Dict[int, int]] = {}
         self.out_sets: Dict[Instruction, Dict[int, int]] = {}
@@ -136,14 +138,39 @@ class ICFGFlowSensitive:
 
     def run(self) -> FlowSensitiveResult:
         start = time.perf_counter()
-        for inst in self.module.instructions():
-            self.worklist.push(inst)
-        while self.worklist:
-            inst = self.worklist.pop()
-            self.stats.nodes_processed += 1
-            self._transfer(inst)
-            for succ in self._succs.get(inst, ()):
-                self._join_out_into(inst, succ)
+        meter = self.meter
+        try:
+            if meter is not None:
+                meter.start()
+                meter.check()
+            for inst in self.module.instructions():
+                self.worklist.push(inst)
+            if meter is not None:
+                tick = meter.tick
+                while self.worklist:
+                    tick()
+                    inst = self.worklist.pop()
+                    self.stats.nodes_processed += 1
+                    self._transfer(inst)
+                    for succ in self._succs.get(inst, ()):
+                        self._join_out_into(inst, succ)
+            else:
+                while self.worklist:
+                    inst = self.worklist.pop()
+                    self.stats.nodes_processed += 1
+                    self._transfer(inst)
+                    for succ in self._succs.get(inst, ()):
+                        self._join_out_into(inst, succ)
+        except BudgetExceeded as exc:
+            self.stats.solve_time = time.perf_counter() - start
+            exc.attach(
+                stage=self.analysis_name,
+                stats=self.stats,
+                partial_result=FlowSensitiveResult(
+                    self.module, self.pt, self.callgraph, self.stats,
+                    complete=False),
+            )
+            raise
         self.stats.solve_time = time.perf_counter() - start
         self.stats.callgraph_edges = self.callgraph.num_edges()
         self.stats.top_level_bits = sum(count_bits(mask) for mask in self.pt)
@@ -257,6 +284,6 @@ class ICFGFlowSensitive:
         self.stats.stored_ptset_bits = bits
 
 
-def run_icfg_fs(module: Module) -> FlowSensitiveResult:
+def run_icfg_fs(module: Module, meter=None) -> FlowSensitiveResult:
     """Run the dense ICFG flow-sensitive analysis (small programs only)."""
-    return ICFGFlowSensitive(module).run()
+    return ICFGFlowSensitive(module, meter=meter).run()

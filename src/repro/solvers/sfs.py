@@ -35,8 +35,10 @@ class SFSAnalysis(StagedSolverBase):
 
     analysis_name = "sfs"
 
-    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True):
-        super().__init__(svfg, delta=delta, ptrepo=ptrepo)
+    def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
+                 meter=None, faults=None):
+        super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
+                         faults=faults)
         # IN/OUT maps, lazily created per node id: {obj id -> entry}, where
         # an entry is a PTRepo id (ptrepo on) or a raw mask (ptrepo off).
         self.in_sets: Dict[int, Dict[int, int]] = {}
@@ -63,6 +65,9 @@ class SFSAnalysis(StagedSolverBase):
         succs = self.svfg.ind_succs[node_id].get(oid)
         if not succs:
             return
+        faults = self.faults
+        if faults is not None:
+            faults.fire("propagate", self.analysis_name)
         repo = self.ptrepo
         stats = self.stats
         in_sets = self.in_sets
@@ -79,6 +84,8 @@ class SFSAnalysis(StagedSolverBase):
                 if added:
                     unions += 1
                     if repo is not None:
+                        if faults is not None:
+                            faults.fire("ptrepo_union", self.analysis_name)
                         in_set[oid] = repo.union_mask(entry, added)
                     else:
                         in_set[oid] = old | added
@@ -92,6 +99,8 @@ class SFSAnalysis(StagedSolverBase):
                 unions += 1  # eager: a union is applied per target
                 entry = in_set.get(oid, 0)
                 if repo is not None:
+                    if faults is not None:
+                        faults.fire("ptrepo_union", self.analysis_name)
                     new = repo.union_mask(entry, mask)
                 else:
                     new = entry | mask
@@ -224,6 +233,8 @@ class SFSAnalysis(StagedSolverBase):
         )
 
 
-def run_sfs(svfg: SVFG, delta: bool = True, ptrepo: bool = True) -> FlowSensitiveResult:
+def run_sfs(svfg: SVFG, delta: bool = True, ptrepo: bool = True,
+            meter=None, faults=None) -> FlowSensitiveResult:
     """Run staged flow-sensitive analysis over a built SVFG."""
-    return SFSAnalysis(svfg, delta=delta, ptrepo=ptrepo).run()
+    return SFSAnalysis(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
+                       faults=faults).run()

@@ -167,3 +167,43 @@ class TestJSONExport:
         with pytest.raises(SystemExit):
             main(["--json", "du"])
         assert "--json=PATH" in capsys.readouterr().err
+
+
+class TestGovernedBenchRuns:
+    def test_measurements_carry_run_reports(self):
+        result = run_suite_program("du")
+        for meas in (result.sfs, result.vsfs):
+            assert meas.report is not None
+            assert not meas.report.degraded
+            assert meas.report.precision_level == meas.analysis
+        assert result.precision_identical()
+
+    def test_step_budget_degrades_to_floor(self):
+        from repro.runtime import Budget
+
+        result = run_suite_program("du", budget=Budget(max_steps=1),
+                                   check_equivalence=False)
+        for meas in (result.sfs, result.vsfs):
+            assert meas.report.degraded
+            assert meas.report.precision_level == "andersen"
+
+    def test_json_embeds_run_reports(self, tmp_path):
+        import json
+
+        result = run_suite_program("du")
+        path = tmp_path / "bench.json"
+        write_results_json([result], str(path))
+        payload = json.loads(path.read_text())
+        for label in ("sfs", "vsfs"):
+            report = payload["suite"][0][label]["run_report"]
+            assert report["requested"] == label
+            assert report["degraded"] is False
+            assert report["attempts"][0]["outcome"] == "completed"
+
+    def test_runner_main_budget_flag_notes_degradation(self, capsys):
+        from repro.bench.runner import main
+
+        assert main(["du", "--max-steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NOTE: du: sfs degraded to andersen" in out
+        assert "NOTE: du: vsfs degraded to andersen" in out

@@ -147,3 +147,71 @@ class TestClientFlags:
                      "--dot-callgraph", str(cg_path)]) == 0
         assert svfg_path.read_text().startswith('digraph "svfg"')
         assert cg_path.read_text().startswith('digraph "callgraph"')
+
+
+class TestErrorHandlingAndExitCodes:
+    """Exit-code contract: 1 I/O, 2 parse/IR, 3 analysis/budget."""
+
+    def test_io_error_exits_1(self, capsys):
+        assert main(["-vfspta", "/nonexistent/file.c"]) == 1
+        assert "repro-wpa: error:" in capsys.readouterr().err
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( { this is not C")
+        assert main(["-vfspta", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro-wpa: error:" in err
+
+    def test_ir_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.ir"
+        path.write_text("func @main() {\nentry:\n  %p = bogus_op\n}")
+        assert main(["-vfspta", "--ir", str(path)]) == 2
+        assert "repro-wpa: error:" in capsys.readouterr().err
+
+    def test_budget_error_exits_3_without_fallback(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--max-steps", "0",
+                     "--no-fallback"]) == 3
+        assert "repro-wpa: error:" in capsys.readouterr().err
+
+
+class TestBudgetAndReportFlags:
+    def test_generous_budget_runs_normally(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--budget-seconds", "60",
+                     "--max-steps", "100000"]) == 0
+        captured = capsys.readouterr()
+        assert "[vsfs]" in captured.out
+        assert "warning" not in captured.err
+
+    def test_zero_budget_degrades_to_andersen(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--budget-seconds", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "degraded to andersen" in captured.err
+        assert "[andersen] fallback result (degraded from vsfs)" in captured.out
+
+    def test_report_flag_prints_run_report(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "--- run report: vsfs completed ---" in out
+        assert "1. vsfs: completed" in out
+
+    def test_report_shows_degradation_attempts(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--budget-seconds", "0",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "budget: wall 0s" in out
+        assert "vsfs: budget-exceeded" in out
+        assert "andersen: completed" in out
+
+    def test_budget_mb_flag_parses(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--budget-mb", "512"]) == 0
+        assert "[vsfs]" in capsys.readouterr().out
+
+    def test_budgeted_run_same_answer_when_budget_suffices(self, c_file, capsys):
+        assert main(["-vfspta", c_file, "--dump-pts"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["-vfspta", c_file, "--dump-pts",
+                     "--budget-seconds", "60"]) == 0
+        budgeted = capsys.readouterr().out
+        pts = lambda text: [l for l in text.splitlines() if l.startswith("pt(")]
+        assert pts(baseline) == pts(budgeted) != []

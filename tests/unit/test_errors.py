@@ -1,0 +1,159 @@
+"""Unit tests for the exception hierarchy (repro.errors).
+
+Covers the class hierarchy contract the CLI exit codes are built on, the
+ParseError position-carrying fix, the context-carrying governance errors
+(BudgetExceeded / InjectedFault), and a source sweep proving every public
+raise site in the library uses a typed ReproError subclass.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BudgetExceeded,
+    InjectedFault,
+    IRError,
+    ParseError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        IRError, ParseError, AnalysisError, SolverError, BudgetExceeded,
+        InjectedFault,
+    ])
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_analysis_branch(self):
+        assert issubclass(SolverError, AnalysisError)
+        assert issubclass(BudgetExceeded, AnalysisError)
+        assert issubclass(InjectedFault, SolverError)
+
+    def test_catching_the_base_catches_all(self):
+        for exc in (IRError("x"), ParseError("x"), AnalysisError("x"),
+                    SolverError("x"), BudgetExceeded("x"),
+                    InjectedFault(point="propagate")):
+            with pytest.raises(ReproError):
+                raise exc
+
+
+class TestParseErrorPositions:
+    def test_full_position(self):
+        err = ParseError("unexpected token", line=3, column=7)
+        assert str(err) == "3:7: unexpected token"
+        assert err.pos == (3, 7)
+        assert err.raw_message == "unexpected token"
+
+    def test_column_without_line_is_kept(self):
+        # Regression: the old formatting dropped the column whenever
+        # line == 0, losing the position for single-line input.
+        err = ParseError("bad char", line=0, column=12)
+        assert str(err) == "0:12: bad char"
+        assert err.pos == (0, 12)
+
+    def test_no_position_means_no_prefix(self):
+        err = ParseError("something broke")
+        assert str(err) == "something broke"
+        assert err.pos == (0, 0)
+        assert err.raw_message == "something broke"
+
+    def test_raw_message_never_double_prefixes(self):
+        err = ParseError("msg", line=2, column=4)
+        assert err.raw_message == "msg"
+        assert str(ParseError(err.raw_message, 2, 4)) == str(err)
+
+
+class TestBudgetExceeded:
+    def test_resource_fields(self):
+        err = BudgetExceeded("out of steps", resource="steps", limit=10, used=11)
+        assert (err.resource, err.limit, err.used) == ("steps", 10, 11)
+        assert err.stage is None and err.partial_result is None
+
+    def test_attach_first_writer_wins(self):
+        err = BudgetExceeded("x")
+        err.attach(stage="vsfs", stats="inner-stats", partial_result="inner")
+        err.attach(stage="outer", stats="outer-stats", partial_result="outer")
+        assert err.stage == "vsfs"
+        assert err.stats == "inner-stats"
+        assert err.partial_result == "inner"
+
+    def test_attach_returns_self_for_reraise(self):
+        err = BudgetExceeded("x")
+        assert err.attach(stage="sfs") is err
+
+
+class TestInjectedFault:
+    def test_carries_stage_context(self):
+        err = InjectedFault(point="otf_edge", stage="vsfs", hit=3)
+        assert (err.point, err.stage, err.hit) == ("otf_edge", "vsfs", 3)
+        assert "otf_edge" in str(err) and "hit #3" in str(err) and "vsfs" in str(err)
+
+    def test_unknown_stage_rendering(self):
+        assert "unknown" in str(InjectedFault(point="propagate", hit=1))
+
+
+# --------------------------------------------------------------------------
+# Public raise-site sweep: the library's public layers may only raise typed
+# ReproError subclasses (plus NotImplementedError for abstract hooks and
+# AssertionError for genuinely unreachable code).  Internal data structures
+# (datastructs/, ir/ builders) may raise ValueError/KeyError for programming
+# errors, per the errors module docstring, so they are not swept.
+
+PUBLIC_LAYERS = (
+    "frontend",
+    "ir/parser.py",
+    "runtime",
+    "solvers",
+    "core",
+    "analysis",
+    "pipeline.py",
+    "cli.py",
+)
+
+ALLOWED_RAISES = {
+    "ReproError", "IRError", "ParseError", "AnalysisError", "SolverError",
+    "BudgetExceeded", "InjectedFault",
+    "NotImplementedError", "AssertionError",
+}
+
+
+def _public_sources():
+    root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    for layer in PUBLIC_LAYERS:
+        path = root / layer
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+def _raise_sites(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            func = exc.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            yield node.lineno, name
+        # bare `raise exc_variable` re-raises are fine: the original was typed
+
+
+@pytest.mark.parametrize("path", list(_public_sources()),
+                         ids=lambda p: "/".join(p.parts[-2:]))
+def test_public_raise_sites_are_typed(path):
+    offending = [
+        (lineno, name) for lineno, name in _raise_sites(path)
+        if name not in ALLOWED_RAISES
+    ]
+    assert not offending, (
+        f"{path} raises non-ReproError exception(s) at {offending}; "
+        f"public layers must raise typed errors from repro.errors"
+    )

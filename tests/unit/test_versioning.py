@@ -4,6 +4,7 @@ interning, and the induced propagation constraints."""
 import pytest
 
 from repro.core.versioning import ObjectVersioning, version_objects
+from repro.errors import AnalysisError
 from repro.frontend import compile_c
 from repro.ir import CallInst, LoadInst, StoreInst
 from repro.pipeline import AnalysisPipeline
@@ -199,7 +200,7 @@ class TestStrategies:
 
     def test_unknown_strategy_rejected(self):
         __, pipeline = build("int g; int main() { g = 1; return g; }")
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             ObjectVersioning(pipeline.fresh_svfg()).run(strategy="nope")
 
     def test_version_objects_helper(self):
