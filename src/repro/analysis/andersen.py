@@ -75,6 +75,11 @@ class AndersenResult:
         self.callgraph = callgraph
         self.stats = stats
 
+    def snapshot(self) -> Dict[int, int]:
+        """var id -> mask for every non-empty set (mirrors the
+        flow-sensitive result API; used by tests for bit-identity)."""
+        return {vid: mask for vid, mask in enumerate(self._var_pts) if mask}
+
     def pts_mask(self, var: Variable) -> int:
         """Raw bit mask (over object ids) of pt(var)."""
         if var.id < 0 or var.id >= len(self._var_pts):
@@ -106,10 +111,13 @@ class AndersenAnalysis:
     #: Re-run SCC collapsing after this many worklist pops.
     COLLAPSE_PERIOD = 20_000
 
-    def __init__(self, module: Module, collapse_cycles: bool = True, meter=None):
+    def __init__(self, module: Module, collapse_cycles: bool = True, meter=None,
+                 checkpointer=None):
         self.module = module
         self.collapse_cycles = collapse_cycles
         self.meter = meter
+        self.checkpointer = checkpointer
+        self._resumed = False
         self.var_count = len(module.variables)
         size = self.var_count + len(module.objects)
         # Core solver state, indexed by constraint node.
@@ -297,6 +305,115 @@ class AndersenAnalysis:
         self.indirect_sites[other] = []
         return rep
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Constraint-graph state sufficient to continue this solve.
+
+        Copy edges are stored explicitly (not regenerated) because many of
+        them were added by on-the-fly call binding; replaying the call
+        edges alone could not reconstruct which parameter bindings had
+        already happened.  Indirect call sites are stored by instruction id.
+        """
+        from repro.store.codec import snapshot_call_edges, snapshot_fields
+
+        stats = self.stats
+        return {
+            "pts": [format(mask, "x") for mask in self.pts],
+            "done": [format(mask, "x") for mask in self.done],
+            "copy_succs": [sorted(succs) for succs in self.copy_succs],
+            "load_dsts": [list(dsts) for dsts in self.load_dsts],
+            "store_srcs": [list(srcs) for srcs in self.store_srcs],
+            "field_dsts": [[list(pair) for pair in pairs]
+                           for pairs in self.field_dsts],
+            "indirect_sites": [[call.id for call in sites]
+                               for sites in self.indirect_sites],
+            "uf": self.uf.snapshot(),
+            "worklist": self.worklist.snapshot(),
+            "call_edges": snapshot_call_edges(self.callgraph),
+            "fields": snapshot_fields(self.module),
+            "counters": {
+                "processed_nodes": stats.processed_nodes,
+                "copy_edges": stats.copy_edges,
+                "collapse_runs": stats.collapse_runs,
+                "collapsed_nodes": stats.collapsed_nodes,
+                "indirect_calls_resolved": stats.indirect_calls_resolved,
+            },
+        }
+
+    def restore_state(self, payload: Dict[str, object], step: int) -> None:
+        """Reload :meth:`snapshot_state`; :meth:`run` then continues it."""
+        from repro.errors import CheckpointError
+        from repro.store.codec import (
+            call_sites_by_id,
+            replay_fields,
+            resolve_call_edge,
+        )
+
+        try:
+            replay_fields(self.module, payload["fields"])
+            pts = [int(text, 16) for text in payload["pts"]]
+            done = [int(text, 16) for text in payload["done"]]
+            copy_succs = [set(succs) for succs in payload["copy_succs"]]
+            load_dsts = [[int(d) for d in dsts] for dsts in payload["load_dsts"]]
+            store_srcs = [[int(s) for s in srcs] for srcs in payload["store_srcs"]]
+            field_dsts = [[(int(offset), int(dst)) for offset, dst in pairs]
+                          for pairs in payload["field_dsts"]]
+            sites_index = call_sites_by_id(self.module)
+            indirect_sites: List[List[CallInst]] = []
+            for inst_ids in payload["indirect_sites"]:
+                sites: List[CallInst] = []
+                for inst_id in inst_ids:
+                    call = sites_index.get(inst_id)
+                    if call is None:
+                        raise CheckpointError(
+                            f"indirect site {inst_id} is not a call here")
+                    sites.append(call)
+                indirect_sites.append(sites)
+            lengths = {len(pts), len(done), len(copy_succs), len(load_dsts),
+                       len(store_srcs), len(field_dsts), len(indirect_sites)}
+            # Snapshot arrays can only have grown past the fresh solver's
+            # universe (growth is lazy, per touched object node).
+            if len(lengths) != 1 or len(pts) < len(self.pts):
+                raise CheckpointError("constraint-graph arrays disagree in length")
+            uf = UnionFind.from_snapshot(payload["uf"])
+            if len(uf) != len(pts):
+                raise CheckpointError("union-find universe disagrees with arrays")
+            self.pts = pts
+            self.done = done
+            self.copy_succs = copy_succs
+            self.load_dsts = load_dsts
+            self.store_srcs = store_srcs
+            self.field_dsts = field_dsts
+            self.indirect_sites = indirect_sites
+            self.uf = uf
+            self.worklist.restore(
+                {"items": [int(node) for node in payload["worklist"]["items"]]})
+            # Call edges: graph membership only.  The parameter/return copy
+            # edges binding already happened before the snapshot and is part
+            # of copy_succs, so _bind_call must NOT run again.
+            for inst_id, callee_name in payload["call_edges"]:
+                call, callee = resolve_call_edge(self.module, sites_index,
+                                                 inst_id, callee_name)
+                self.callgraph.add_edge(call, callee)
+            counters = payload["counters"]
+            self.stats.processed_nodes = counters["processed_nodes"]
+            self.stats.copy_edges = counters["copy_edges"]
+            self.stats.collapse_runs = counters["collapse_runs"]
+            self.stats.collapsed_nodes = counters["collapsed_nodes"]
+            self.stats.indirect_calls_resolved = counters["indirect_calls_resolved"]
+        except CheckpointError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError, AttributeError) as err:
+            raise CheckpointError(
+                f"checkpoint payload does not restore cleanly: "
+                f"{type(err).__name__}: {err}", reason="corrupt") from err
+        self._resumed = True
+        if self.checkpointer is not None:
+            self.checkpointer.mark_resumed(step)
+
+    # ------------------------------------------------------------------- run
+
     def run(self) -> AndersenResult:
         start = time.perf_counter()
         meter = self.meter
@@ -306,6 +423,12 @@ class AndersenAnalysis:
             self.stats.solve_time = time.perf_counter() - start
             exc.attach(stage="andersen", stats=self.stats,
                        partial_result=self._result())
+            if self.checkpointer is not None:
+                try:
+                    exc.checkpoint_path = self.checkpointer.save(
+                        self, self.stats.processed_nodes, reason="budget")
+                except OSError:
+                    pass  # a full disk must not mask the budget signal
             raise
 
     def _run(self, start: float, meter) -> AndersenResult:
@@ -313,13 +436,20 @@ class AndersenAnalysis:
             meter.start()
             meter.check()
         tick = meter.tick if meter is not None else None
-        self.initialise()
-        if self.collapse_cycles:
-            self._collapse_sccs()
+        checkpointer = self.checkpointer
+        if not self._resumed:
+            # A resumed run restores constraints, points-to sets, and the
+            # mid-solve worklist; re-generating base constraints (or
+            # re-collapsing eagerly) would only duplicate restored state.
+            self.initialise()
+            if self.collapse_cycles:
+                self._collapse_sccs()
         pops_since_collapse = 0
         while self.worklist:
             if tick is not None:
                 tick()
+            if checkpointer is not None:
+                checkpointer.maybe(self, self.stats.processed_nodes)
             node = self.worklist.pop()
             rep = self.uf.find(node)
             if rep != node:
@@ -357,6 +487,7 @@ class AndersenAnalysis:
 
 
 def run_andersen(module: Module, collapse_cycles: bool = True,
-                 meter=None) -> AndersenResult:
+                 meter=None, checkpointer=None) -> AndersenResult:
     """Convenience wrapper: run Andersen's analysis on *module*."""
-    return AndersenAnalysis(module, collapse_cycles, meter=meter).run()
+    return AndersenAnalysis(module, collapse_cycles, meter=meter,
+                            checkpointer=checkpointer).run()

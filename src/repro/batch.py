@@ -1,0 +1,230 @@
+"""``repro-wpa batch`` — supervised multi-program batch driver.
+
+Runs one ``repro-wpa`` subprocess per program so a crash (OOM kill,
+segfault, interpreter abort) takes down only that program's attempt, never
+the batch.  The supervisor enforces a per-attempt wall-clock timeout,
+kills overrunning workers, and retries with exponential backoff — each
+retry passes ``--resume`` so the worker continues from the last
+checkpoint instead of starting over.  Non-final attempts run with
+``--no-fallback``: a budget trip then checkpoints and exits 3 rather than
+silently degrading, keeping the precise answer reachable across retries.
+Only the final attempt may walk the degradation ladder (unless the batch
+itself was invoked with ``--no-fallback``) — degradation is the last
+resort, after every resume-and-retry has been spent.
+
+The aggregate JSON (``--output``) records every attempt's exit code,
+duration and timeout/kill disposition plus each worker's own run report
+(collected via ``--report-json``), and is written atomically.
+
+Exit code: 0 when every program produced a result, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.store.atomic import atomic_write_json
+
+#: CLI mode flag per analysis name.
+_ANALYSIS_FLAGS = {
+    "ander": "-ander",
+    "sfs": "-fspta",
+    "vsfs": "-vfspta",
+    "icfg-fs": "-icfg-fspta",
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wpa batch",
+        description="Supervised batch analysis with timeouts, "
+                    "checkpoint/resume retries and backoff",
+    )
+    parser.add_argument("files", nargs="+",
+                        help="mini-C source files to analyse")
+    parser.add_argument("--analysis", default="vsfs",
+                        choices=tuple(_ANALYSIS_FLAGS),
+                        help="analysis to run on every program (default vsfs)")
+    parser.add_argument("--ir", action="store_true",
+                        help="inputs are textual IR")
+    parser.add_argument("--no-delta", action="store_true",
+                        help="disable the delta propagation kernel")
+    parser.add_argument("--no-ptrepo", action="store_true",
+                        help="disable deduplicated points-to storage")
+    parser.add_argument("--budget-seconds", type=float, metavar="S",
+                        help="per-attempt solver wall-clock budget")
+    parser.add_argument("--budget-mb", type=float, metavar="MB",
+                        help="per-attempt traced-memory budget")
+    parser.add_argument("--max-steps", type=int, metavar="N",
+                        help="per-attempt solver step budget")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-attempt subprocess wall-clock timeout; "
+                             "overrunning workers are killed and retried")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries after the first attempt (default 2)")
+    parser.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                        help="base retry delay, doubled per retry "
+                             "(default 0.5s)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="programs analysed concurrently (default 1)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="checkpoint root; each program gets its own "
+                             "subdirectory, enabling resume-on-retry")
+    parser.add_argument("--checkpoint-every", type=int, default=1000,
+                        metavar="N", help="checkpoint cadence in solver steps")
+    parser.add_argument("--checkpoint-seconds", type=float, metavar="S",
+                        help="wall-clock checkpoint cadence")
+    parser.add_argument("--store", metavar="DIR",
+                        help="shared content-addressed result store")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="never degrade, even on the final attempt")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the aggregate batch report as JSON")
+    return parser
+
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess environment with the repro package importable."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root if not existing
+                         else package_root + os.pathsep + existing)
+    return env
+
+
+def _slug(path: str) -> str:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return re.sub(r"[^A-Za-z0-9._-]", "_", stem) or "program"
+
+
+def _attempt_cmd(args: argparse.Namespace, file: str, ckdir: Optional[str],
+                 report_json: Optional[str], resume: bool,
+                 final: bool) -> List[str]:
+    cmd = [sys.executable, "-m", "repro.cli",
+           _ANALYSIS_FLAGS[args.analysis], file]
+    if args.ir:
+        cmd.append("--ir")
+    if args.no_delta:
+        cmd.append("--no-delta")
+    if args.no_ptrepo:
+        cmd.append("--no-ptrepo")
+    if args.budget_seconds is not None:
+        cmd += ["--budget-seconds", str(args.budget_seconds)]
+    if args.budget_mb is not None:
+        cmd += ["--budget-mb", str(args.budget_mb)]
+    if args.max_steps is not None:
+        cmd += ["--max-steps", str(args.max_steps)]
+    if ckdir is not None:
+        cmd += ["--checkpoint-dir", ckdir,
+                "--checkpoint-every", str(args.checkpoint_every)]
+        if args.checkpoint_seconds is not None:
+            cmd += ["--checkpoint-seconds", str(args.checkpoint_seconds)]
+        if resume:
+            cmd.append("--resume")
+    if args.store is not None:
+        cmd += ["--store", args.store]
+    if report_json is not None:
+        cmd += ["--report-json", report_json]
+    # Degradation is the last resort: only the final attempt may fall
+    # back down the ladder, and only when the batch allows fallback.
+    if args.no_fallback or not final:
+        cmd.append("--no-fallback")
+    return cmd
+
+
+def _run_program(args: argparse.Namespace, env: Dict[str, str],
+                 file: str) -> Dict[str, Any]:
+    ckdir = (os.path.join(args.checkpoint_dir, _slug(file))
+             if args.checkpoint_dir else None)
+    report_json = (os.path.join(ckdir, "report.json")
+                   if ckdir is not None else None)
+    record: Dict[str, Any] = {"file": file, "analysis": args.analysis,
+                              "attempts": [], "status": "failed",
+                              "resume_count": 0}
+    total_attempts = 1 + max(0, args.retries)
+    for attempt in range(total_attempts):
+        final = attempt == total_attempts - 1
+        if attempt:
+            time.sleep(args.backoff * (2 ** (attempt - 1)))
+            record["resume_count"] += 1 if ckdir is not None else 0
+        cmd = _attempt_cmd(args, file, ckdir, report_json,
+                           resume=attempt > 0 and ckdir is not None,
+                           final=final)
+        begun = time.monotonic()
+        entry: Dict[str, Any] = {"attempt": attempt, "final": final,
+                                 "resumed": attempt > 0 and ckdir is not None}
+        try:
+            proc = subprocess.run(cmd, env=env, capture_output=True,
+                                  text=True, timeout=args.timeout)
+            entry["exit_code"] = proc.returncode
+            entry["timed_out"] = False
+            if proc.returncode != 0:
+                entry["stderr_tail"] = proc.stderr.strip().splitlines()[-3:]
+        except subprocess.TimeoutExpired:
+            # subprocess.run already killed the worker; its last cadence
+            # checkpoint (if any) is what the next attempt resumes from.
+            entry["exit_code"] = None
+            entry["timed_out"] = True
+        entry["seconds"] = round(time.monotonic() - begun, 3)
+        record["attempts"].append(entry)
+        if entry["exit_code"] == 0:
+            record["status"] = "ok"
+            break
+        if entry["exit_code"] == 2:
+            # Parse/IR errors are deterministic: retrying cannot help.
+            record["status"] = "input-error"
+            break
+    if report_json is not None and os.path.exists(report_json):
+        import json
+
+        try:
+            with open(report_json) as handle:
+                record["report"] = json.load(handle)
+        except (OSError, ValueError):
+            record["report"] = None
+    return record
+
+
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    env = _worker_env()
+    begun = time.monotonic()
+    if args.jobs > 1:
+        with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            records = list(pool.map(
+                lambda file: _run_program(args, env, file), args.files))
+    else:
+        records = [_run_program(args, env, file) for file in args.files]
+    failed = [r for r in records if r["status"] != "ok"]
+    summary = {
+        "analysis": args.analysis,
+        "programs": len(records),
+        "ok": len(records) - len(failed),
+        "failed": len(failed),
+        "wall_seconds": round(time.monotonic() - begun, 3),
+        "results": records,
+    }
+    if args.output:
+        atomic_write_json(args.output, summary)
+    for record in records:
+        marker = "ok" if record["status"] == "ok" else record["status"]
+        attempts = len(record["attempts"])
+        print(f"[{marker}] {record['file']} "
+              f"({attempts} attempt{'s' if attempts != 1 else ''})")
+    print(f"batch: {summary['ok']}/{summary['programs']} ok "
+          f"in {summary['wall_seconds']}s")
+    return 0 if not failed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(batch_main())

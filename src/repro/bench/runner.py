@@ -199,14 +199,19 @@ def run_suite_program(name: str, check_equivalence: bool = True,
 
 
 def write_results_json(results: List[SuiteResult], path: str) -> None:
-    """Write ``BENCH_table3.json``-style output for downstream tooling."""
+    """Write ``BENCH_table3.json``-style output for downstream tooling.
+
+    Written atomically (temp file + fsync + rename): a crash or kill
+    mid-write can never leave a truncated half-JSON where downstream
+    tooling expects results — the previous file, if any, survives intact.
+    """
+    from repro.store.atomic import atomic_write_json
+
     payload = {
         "suite": [res.to_dict() for res in results],
         "programs": [res.name for res in results],
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, payload)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

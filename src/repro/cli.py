@@ -14,8 +14,16 @@ of every top-level variable.  Budget flags govern the run: on exhaustion the
 analysis degrades down the ladder (``vsfs → sfs → andersen``) unless
 ``--no-fallback`` is given.
 
+Crash safety: ``--checkpoint-dir`` snapshots the in-flight solver on a
+cadence (``--checkpoint-every`` pops and/or ``--checkpoint-seconds``) and
+when a budget trips; ``--resume`` picks the work back up bit-identically.
+``--store`` caches completed results content-addressed by IR hash ×
+analysis × ablation flags.  ``repro-wpa batch ...`` runs a supervised
+multi-program batch (see :mod:`repro.batch`).
+
 Exit codes: 0 success, 1 I/O error, 2 parse/IR error, 3 analysis error
-(including an exhausted budget under ``--no-fallback``).
+(including an exhausted budget under ``--no-fallback``, and any rejected
+or corrupt checkpoint/store artifact).
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ import tracemalloc
 from typing import List, Optional
 
 from repro.errors import IRError, ParseError, ReproError
-from repro.pipeline import AnalysisPipeline, module_from
+from repro.pipeline import AnalysisPipeline, _load_resume_state, module_from
 from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.degrade import solve_with_ladder
 
 
@@ -69,6 +78,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="print the run report (attempts, budget "
                              "consumed, degradation)")
+    parser.add_argument("--report-json", metavar="FILE",
+                        help="write the run report as JSON (atomically)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="write crash-safe solver checkpoints to DIR")
+    parser.add_argument("--checkpoint-every", type=int, default=1000,
+                        metavar="N",
+                        help="checkpoint cadence in solver steps "
+                             "(default 1000; 0 disables the step cadence)")
+    parser.add_argument("--checkpoint-seconds", type=float, metavar="S",
+                        help="additional wall-clock checkpoint cadence")
+    parser.add_argument("--resume", nargs="?", const=True, default=None,
+                        metavar="PATH",
+                        help="resume from a checkpoint: PATH names a file "
+                             "or directory; bare --resume searches "
+                             "--checkpoint-dir (fresh start if none found)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="content-addressed result store: reuse a "
+                             "cached result when present, save the result "
+                             "on completion")
     parser.add_argument("--check-null", action="store_true",
                         help="report dereferences through possibly-null pointers")
     parser.add_argument("--dead-stores", action="store_true",
@@ -94,7 +122,21 @@ def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: I/O errors exit 1, parse/IR errors 2, analysis errors 3."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        from repro.batch import batch_main
+
+        return batch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
+    if isinstance(args.resume, str) and args.resume.endswith((".c", ".ir")):
+        # argparse greedily binds "--resume prog.c" as the PATH; a source
+        # file is never a checkpoint, so reject with guidance instead of
+        # resuming from garbage.
+        print(f"repro-wpa: error: --resume consumed {args.resume!r} as its "
+              f"PATH; use --resume=PATH or place --resume before another "
+              f"flag", file=sys.stderr)
+        return 1
     try:
         with open(args.file) as handle:
             source = handle.read()
@@ -111,9 +153,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2 if isinstance(err, (ParseError, IRError)) else 3
 
 
+def _checkpoint_config(args: argparse.Namespace) -> Optional[CheckpointConfig]:
+    if args.checkpoint_dir is None:
+        return None
+    every_steps = args.checkpoint_every if args.checkpoint_every > 0 else None
+    return CheckpointConfig(args.checkpoint_dir, every_steps=every_steps,
+                            every_seconds=args.checkpoint_seconds)
+
+
 def _run(args: argparse.Namespace, source: str) -> int:
     module = module_from(source, language="ir" if args.ir else "c")
     pipeline = AnalysisPipeline(module)
+    delta, ptrepo = not args.no_delta, not args.no_ptrepo
+
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+        cached = store.get(module, args.analysis, delta, ptrepo)
+        if cached is not None:
+            print(f"repro-wpa: result store hit ({store.last_path})",
+                  file=sys.stderr)
+            _print_result(args, cached, run_report=None)
+            if args.report_json:
+                _write_report_json(args.report_json, None, store_hit=True)
+            return _client_flags(args, module, pipeline, cached)
+
+    checkpoint = _checkpoint_config(args)
+    resume_meta = resume_state = None
+    if args.resume is not None:
+        resume_meta, resume_state = _load_resume_state(
+            module, args.analysis, args.resume, checkpoint, delta, ptrepo)
 
     tracemalloc.start()
     result = solve_with_ladder(
@@ -121,12 +192,34 @@ def _run(args: argparse.Namespace, source: str) -> int:
         analysis=args.analysis,
         budget=_budget_from(args),
         fallback=not args.no_fallback,
-        delta=not args.no_delta,
-        ptrepo=not args.no_ptrepo,
+        delta=delta,
+        ptrepo=ptrepo,
+        checkpoint=checkpoint,
+        resume_state=resume_state,
+        resume_meta=resume_meta,
     )
     run_report = result.report
     if run_report.degraded:
         print(f"repro-wpa: warning: {run_report.summary()}", file=sys.stderr)
+    if run_report.resumed:
+        print(f"repro-wpa: resumed from step {run_report.resumed_from_step}",
+              file=sys.stderr)
+    if store is not None and not run_report.degraded:
+        path = store.put(module, args.analysis, delta, ptrepo, result)
+        print(f"repro-wpa: result stored at {path}", file=sys.stderr)
+    _print_result(args, result, run_report)
+    __, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    print(f"peak analysis memory: {peak / 1024:.1f} KiB")
+
+    if args.report:
+        print(run_report.render())
+    if args.report_json:
+        _write_report_json(args.report_json, run_report)
+    return _client_flags(args, module, pipeline, result)
+
+
+def _print_result(args: argparse.Namespace, result, run_report) -> None:
     stats = result.stats
     label = getattr(stats, "analysis", "ander")
     if args.analysis == "ander":
@@ -138,8 +231,9 @@ def _run(args: argparse.Namespace, source: str) -> int:
               f"propagations: {stats.propagations}, stored sets: {stats.stored_ptsets}")
     elif label == "andersen":
         # Degraded: Andersen floor repackaged as a flow-sensitive result.
+        degraded_from = run_report.degraded_from if run_report else None
         print(f"[andersen] fallback result (degraded from "
-              f"{run_report.degraded_from}): "
+              f"{degraded_from}): "
               f"call edges: {stats.callgraph_edges}, "
               f"top-level bits: {stats.top_level_bits}")
     else:
@@ -149,13 +243,18 @@ def _run(args: argparse.Namespace, source: str) -> int:
               f"stored points-to sets: {stats.stored_ptsets}")
         print(f"[{label}] strong updates: {stats.strong_updates}, "
               f"call edges: {stats.callgraph_edges}")
-    __, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    print(f"peak analysis memory: {peak / 1024:.1f} KiB")
 
-    if args.report:
-        print(run_report.render())
 
+def _write_report_json(path: str, run_report, store_hit: bool = False) -> None:
+    from repro.store.atomic import atomic_write_json
+
+    payload = {"store_hit": store_hit,
+               "report": run_report.to_dict() if run_report else None}
+    atomic_write_json(path, payload)
+
+
+def _client_flags(args: argparse.Namespace, module, pipeline, result) -> int:
+    """The post-solve flags; shared by the solve and store-hit paths."""
     if args.profile:
         from repro.solvers.base import SolverStats
 

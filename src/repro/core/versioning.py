@@ -185,6 +185,85 @@ class ObjectVersioning:
     def num_constraints(self) -> int:
         return len(self._constraint_set)
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Checkpointable versioning state (C/Y tables + constraints).
+
+        Snapshotting — rather than re-running the meld pre-analysis on
+        resume — matters for two reasons: the tables already contain every
+        constraint discovered *on the fly* (which a fresh pre-analysis over
+        the restored call graph would have to re-derive), and restoring is
+        O(entries) where melding is the dominant pre-analysis cost.
+        """
+        single = []
+        for node_id, is_single in enumerate(self._single):
+            if not is_single:
+                continue
+            node = self.svfg.nodes[node_id]
+            if node.consumed_ver or node.yielded_ver:
+                single.append([node_id, node.consumed_ver, node.yielded_ver])
+        consumed = {
+            str(node_id): {str(oid): ver for oid, ver in table.items()}
+            for node_id, table in enumerate(self.consumed)
+            if table is not self._empty and not self._single[node_id]
+        }
+        # Non-store nodes share their yielded dict with consumed
+        # ([INTERNAL]ⱽ); only store yields carry independent information.
+        yielded_store = {
+            str(node_id): {str(oid): ver for oid, ver in table.items()}
+            for node_id, table in enumerate(self.yielded)
+            if table is not self._empty and self._is_store[node_id]
+        }
+        return {
+            "single": single,
+            "consumed": consumed,
+            "yielded_store": yielded_store,
+            "constraints": sorted(self._constraint_set),
+            "version_counts": {str(oid): count
+                               for oid, count in self._version_counts.items()},
+            "time": self.stats.time,
+            "prelabels": self.stats.prelabels,
+            "meld_steps": self.stats.meld_steps,
+            "versions": self.stats.versions,
+        }
+
+    def restore(self, state: dict) -> "ObjectVersioning":
+        """Reload :meth:`snapshot` output into this (freshly built) instance.
+
+        The receiving object must wrap the same SVFG shape (same node count
+        and δ set) as the snapshotting one — checkpoint metadata guarantees
+        that by matching the IR hash and configuration before we get here.
+        """
+        for node_id, consumed_ver, yielded_ver in state["single"]:
+            node = self.svfg.nodes[node_id]
+            node.consumed_ver = consumed_ver
+            node.yielded_ver = yielded_ver
+        # _set_consumed recreates the [INTERNAL]ⱽ dict sharing for
+        # non-store nodes; store yields land in their own tables after.
+        for node_key, table in state["consumed"].items():
+            node_id = int(node_key)
+            for oid, ver in table.items():
+                self._set_consumed(node_id, int(oid), ver)
+        for node_key, table in state["yielded_store"].items():
+            node_id = int(node_key)
+            for oid, ver in table.items():
+                self._set_yielded(node_id, int(oid), ver)
+        for oid, src_ver, dst_ver in state["constraints"]:
+            self.add_constraint(oid, src_ver, dst_ver)
+        self._version_counts = {int(oid): count
+                                for oid, count in state["version_counts"].items()}
+        self.stats.time = state["time"]
+        self.stats.prelabels = state["prelabels"]
+        self.stats.meld_steps = state["meld_steps"]
+        self.stats.versions = state["versions"]
+        self.stats.consume_entries = sum(
+            len(table) for table in self.consumed if table is not self._empty)
+        self.stats.yield_entries = sum(
+            len(table) for node_id, table in enumerate(self.yielded)
+            if table is not self._empty and self._is_store[node_id])
+        return self
+
     # ------------------------------------------------------------------- run
 
     def run(self, strategy: str = "scc", release_masks: bool = True) -> "ObjectVersioning":

@@ -44,9 +44,10 @@ class VSFSAnalysis(StagedSolverBase):
     analysis_name = "vsfs"
 
     def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
-                 delta: bool = True, ptrepo: bool = True, meter=None, faults=None):
+                 delta: bool = True, ptrepo: bool = True, meter=None,
+                 faults=None, checkpointer=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults)
+                         faults=faults, checkpointer=checkpointer)
         self._given_versioning = versioning
         self.versioning: Optional[ObjectVersioning] = versioning
         # Global points-to table: oid -> version id -> entry (a PTRepo id
@@ -61,8 +62,18 @@ class VSFSAnalysis(StagedSolverBase):
         start = time.perf_counter()
         if self.versioning is None:
             self.versioning = version_objects(self.svfg)
-        versioning = self.versioning
+        self._build_readers()
+        self.stats.pre_time = time.perf_counter() - start
 
+    def _build_readers(self) -> None:
+        """Index which load/store nodes consume each ``(object, version)``.
+
+        Deterministic given the versioning tables (it walks nodes in id
+        order and sorts each bucket), so a resumed run rebuilds the exact
+        same index from the restored versioning state.
+        """
+        versioning = self.versioning
+        assert versioning is not None
         memssa = self.memssa
         # Built as sets: a load/store touching the same (oid, ver) through
         # two μ/χ annotations must not be pushed twice per growth.
@@ -80,7 +91,6 @@ class VSFSAnalysis(StagedSolverBase):
                     ver = versioning.consumed_version(node.id, chi.obj.id)
                     readers.setdefault((chi.obj.id, ver), set()).add(node.id)
         self.readers = {key: sorted(nodes) for key, nodes in readers.items()}
-        self.stats.pre_time = time.perf_counter() - start
 
     # ------------------------------------------------------- version tables
 
@@ -248,6 +258,47 @@ class VSFSAnalysis(StagedSolverBase):
                 self.stats.propagations += 1
                 self._ptv_join(oid, dst, self.ptv_mask(oid, src))
 
+    # ----------------------------------------------------------- persistence
+
+    def _snapshot_memory(self) -> Dict[str, object]:
+        """The global ``(object, version)`` table, the PTRepo interning
+        table, and the full versioning state (C/Y tables + constraints —
+        including every constraint registered on the fly, which a re-run
+        of the pre-analysis could not reproduce without re-discovering the
+        call graph first).
+
+        This is where the paper's global keying pays off at the
+        persistence layer too: the address-taken state is one table with
+        one entry per *live* ``(object, version)`` pair, not one map per
+        SVFG node.
+        """
+        assert self.versioning is not None
+        return {
+            "repo": self.ptrepo.snapshot() if self.ptrepo is not None else None,
+            "ptv": {str(oid): [format(entry, "x") for entry in table]
+                    for oid, table in self.ptv.items()},
+            "versioning": self.versioning.snapshot(),
+        }
+
+    def _restore_pre(self, payload: Dict[str, object]) -> None:
+        """Restore versioning before memory: the version tables define the
+        shape of the global table and of the readers index."""
+        self.versioning = ObjectVersioning(self.svfg).restore(
+            payload["mem"]["versioning"])
+        self._build_readers()
+
+    def _restore_memory(self, mem: Dict[str, object]) -> None:
+        from repro.datastructs.ptrepo import PTRepo
+        from repro.errors import CheckpointError
+
+        if self.ptrepo is not None:
+            if mem["repo"] is None:
+                raise CheckpointError(
+                    "checkpoint lacks the ptrepo interning table")
+            self.ptrepo = PTRepo.from_snapshot(mem["repo"])
+        self.ptv = {int(oid): [int(entry, 16) for entry in table]
+                    for oid, table in mem["ptv"].items()}
+
     # --------------------------------------------------------------- summary
 
     def _memory_footprint(self) -> None:
@@ -258,7 +309,8 @@ class VSFSAnalysis(StagedSolverBase):
 
 def run_vsfs(svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
              delta: bool = True, ptrepo: bool = True, meter=None,
-             faults=None) -> FlowSensitiveResult:
+             faults=None, checkpointer=None) -> FlowSensitiveResult:
     """Run VSFS over a built SVFG (versioning is computed if not supplied)."""
     return VSFSAnalysis(svfg, versioning, delta=delta, ptrepo=ptrepo,
-                        meter=meter, faults=faults).run()
+                        meter=meter, faults=faults,
+                        checkpointer=checkpointer).run()

@@ -90,6 +90,38 @@ class PTRepo:
             return ident
         return self.union(ident, self.intern(mask))
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot(self) -> List[str]:
+        """The interning table as hex masks, index = id (checkpointable).
+
+        The union cache and its hit counters are deliberately *not* part of
+        the snapshot: they are a performance memo, rebuilt for free as the
+        resumed solve re-requests unions, and omitting them keeps the
+        serialised form exactly the deduplicated content — one line per
+        distinct set, the MDE-style storage story.
+        """
+        return [format(mask, "x") for mask in self._masks]
+
+    @classmethod
+    def from_snapshot(cls, masks: List[str]) -> "PTRepo":
+        """Rebuild a repository from :meth:`snapshot` output.
+
+        Validates the two structural invariants every live repo holds —
+        id 0 names the empty set, and no mask appears twice — so a damaged
+        snapshot cannot silently produce a repo whose ids alias each other.
+        """
+        repo = cls()
+        if not masks or masks[0] != "0":
+            raise ValueError("ptrepo snapshot must start with the empty set")
+        for text in masks[1:]:
+            mask = int(text, 16)
+            if mask in repo._ids:
+                raise ValueError(f"duplicate mask {text!r} in ptrepo snapshot")
+            repo._ids[mask] = len(repo._masks)
+            repo._masks.append(mask)
+        return repo
+
     # ----------------------------------------------------------------- stats
 
     @property

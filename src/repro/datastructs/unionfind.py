@@ -54,5 +54,29 @@ class UnionFind:
     def same(self, a: int, b: int) -> bool:
         return self.find(a) == self.find(b)
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Checkpointable state: the parent/rank arrays verbatim.
+
+        Path-halving mutations already applied are captured as-is; they
+        change only lookup cost, never set membership, so a restored forest
+        answers every :meth:`find`/:meth:`same` query identically.
+        """
+        return {"parent": list(self._parent), "rank": list(self._rank)}
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "UnionFind":
+        parent = [int(x) for x in state["parent"]]
+        rank = [int(x) for x in state["rank"]]
+        if len(parent) != len(rank):
+            raise ValueError("union-find snapshot arrays disagree in length")
+        if any(p < 0 or p >= len(parent) for p in parent):
+            raise ValueError("union-find snapshot has out-of-range parent")
+        uf = cls()
+        uf._parent = parent
+        uf._rank = rank
+        return uf
+
     def __len__(self) -> int:
         return len(self._parent)

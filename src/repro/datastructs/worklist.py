@@ -89,6 +89,17 @@ class FIFOWorkList(Generic[T]):
     def __bool__(self) -> bool:
         return bool(self._items)
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Queue order verbatim (items must be JSON-safe, e.g. ints)."""
+        return {"items": list(self._items)}
+
+    def restore(self, state: dict) -> None:
+        """Reload :meth:`snapshot` output into this (empty) worklist."""
+        self._items = deque(state["items"])
+        self._member = set(self._items)
+
 
 class DeltaWorkList(FIFOWorkList[int]):
     """FIFO node worklist carrying per-``(node, object)`` dirty delta masks.
@@ -163,6 +174,30 @@ class DeltaWorkList(FIFOWorkList[int]):
             full.discard(node)
             return node, None
         return node, self._dirty.pop(node, None)
+
+    # ----------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Queue order plus the full/dirty annotations (hex delta masks)."""
+        return {
+            "items": list(self._items),
+            "full": sorted(self._full),
+            "dirty": {
+                str(node): {str(oid): format(delta, "x")
+                            for oid, delta in per_obj.items()}
+                for node, per_obj in self._dirty.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        self._items = deque(int(node) for node in state["items"])
+        self._member = set(self._items)
+        self._full = {int(node) for node in state["full"]}
+        self._dirty = {
+            int(node): {int(oid): int(delta, 16)
+                        for oid, delta in per_obj.items()}
+            for node, per_obj in state["dirty"].items()
+        }
 
 
 class PriorityWorkList(Generic[T]):

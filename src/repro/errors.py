@@ -52,6 +52,38 @@ class SolverError(AnalysisError):
     """Raised when a points-to solver detects an internal inconsistency."""
 
 
+class CheckpointError(AnalysisError):
+    """A persisted artifact (checkpoint or result-store entry) was rejected.
+
+    Raised — instead of ``json``/``KeyError``/``ValueError`` tracebacks — for
+    every way a file on disk can fail to be trustworthy: unreadable or
+    truncated bytes, checksum mismatches, an unknown schema version, a
+    manifest recorded for a different program (IR hash) or solver
+    configuration, or a payload whose shape does not match what the solver
+    expects.  ``reason`` is a stable machine-readable tag:
+
+    - ``"missing"``: the file does not exist or cannot be read;
+    - ``"corrupt"``: undecodable, truncated, checksum mismatch, or a
+      well-formed file whose payload does not restore cleanly;
+    - ``"schema"``: a schema version this build does not understand;
+    - ``"kind"``: the sealed file is of a different artifact type;
+    - ``"ir-mismatch"``: recorded for a different program (IR content hash);
+    - ``"config-mismatch"``: recorded for a different solver or ablation
+      configuration.
+
+    The CLI maps it (like every :class:`AnalysisError`) to exit code 3 and
+    never loads the rejected state.
+    """
+
+    def __init__(self, message: str, reason: str = "corrupt",
+                 path: Optional[str] = None):
+        self.reason = reason
+        self.path = path
+        if path:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
 class BudgetExceeded(AnalysisError):
     """A governed run exhausted its :class:`repro.runtime.budget.Budget`.
 
@@ -79,6 +111,9 @@ class BudgetExceeded(AnalysisError):
         self.stats = None
         self.partial_result = None
         self.run_report = None  # filled by the degradation ladder on re-raise
+        #: Path of the checkpoint written when the budget tripped (None when
+        #: the run was not checkpointed) — the handle a supervisor resumes from.
+        self.checkpoint_path: Optional[str] = None
 
     def attach(self, stage: Optional[str] = None, stats=None,
                partial_result=None) -> "BudgetExceeded":

@@ -15,12 +15,13 @@ from repro.analysis.andersen import AndersenAnalysis, AndersenResult
 from repro.analysis.modref import ModRefInfo, compute_modref
 from repro.core.versioning import ObjectVersioning, version_objects
 from repro.core.vsfs import VSFSAnalysis
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CheckpointError
 from repro.frontend import compile_c
 from repro.ir.module import Module
 from repro.ir.parser import parse_module
 from repro.memssa.builder import MemSSA, build_memssa
 from repro.passes.pipeline import prepare_module
+from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.degrade import solve_with_ladder
 from repro.solvers.base import FlowSensitiveResult
 from repro.solvers.icfg_fs import ICFGFlowSensitive
@@ -41,10 +42,19 @@ class AnalysisPipeline:
         self._svfg: Optional[SVFG] = None
         self._versioning: Optional[ObjectVersioning] = None
 
-    def andersen(self, meter=None) -> AndersenResult:
-        if self._andersen is None:
-            self._andersen = AndersenAnalysis(self.module, meter=meter).run()
-        return self._andersen
+    def andersen(self, meter=None, checkpointer=None,
+                 resume_state=None, resume_step: int = 0) -> AndersenResult:
+        if checkpointer is None and resume_state is None:
+            if self._andersen is None:
+                self._andersen = AndersenAnalysis(self.module, meter=meter).run()
+            return self._andersen
+        solver = AndersenAnalysis(self.module, meter=meter,
+                                  checkpointer=checkpointer)
+        if resume_state is not None:
+            solver.restore_state(resume_state, resume_step)
+        result = solver.run()
+        self._andersen = result  # a completed run is a valid substrate
+        return result
 
     def modref(self) -> ModRefInfo:
         if self._modref is None:
@@ -71,17 +81,32 @@ class AnalysisPipeline:
         return self._versioning
 
     def sfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
-            faults=None) -> FlowSensitiveResult:
-        return SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
-                           meter=meter, faults=faults).run()
+            faults=None, checkpointer=None, resume_state=None,
+            resume_step: int = 0) -> FlowSensitiveResult:
+        solver = SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
+                             meter=meter, faults=faults,
+                             checkpointer=checkpointer)
+        if resume_state is not None:
+            solver.restore_state(resume_state, resume_step)
+        return solver.run()
 
     def vsfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
-             faults=None) -> FlowSensitiveResult:
-        return VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
-                            meter=meter, faults=faults).run()
+             faults=None, checkpointer=None, resume_state=None,
+             resume_step: int = 0) -> FlowSensitiveResult:
+        solver = VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
+                              meter=meter, faults=faults,
+                              checkpointer=checkpointer)
+        if resume_state is not None:
+            solver.restore_state(resume_state, resume_step)
+        return solver.run()
 
-    def icfg_fs(self, meter=None) -> FlowSensitiveResult:
-        return ICFGFlowSensitive(self.module, meter=meter).run()
+    def icfg_fs(self, meter=None, checkpointer=None, resume_state=None,
+                resume_step: int = 0) -> FlowSensitiveResult:
+        solver = ICFGFlowSensitive(self.module, meter=meter,
+                                   checkpointer=checkpointer)
+        if resume_state is not None:
+            solver.restore_state(resume_state, resume_step)
+        return solver.run()
 
 
 def module_from(source: Union[str, Module], language: str = "c") -> Module:
@@ -99,7 +124,8 @@ def module_from(source: Union[str, Module], language: str = "c") -> Module:
 
 def analyze(source: Union[str, Module], analysis: str = "vsfs",
             language: str = "c", budget=None, fallback: bool = True,
-            faults=None, delta: bool = True, ptrepo: bool = True):
+            faults=None, delta: bool = True, ptrepo: bool = True,
+            checkpoint=None, resume_from=None):
     """Run one analysis end to end, governed by the degradation ladder.
 
     :param source: a prepared :class:`Module`, mini-C source text, or
@@ -114,16 +140,80 @@ def analyze(source: Union[str, Module], analysis: str = "vsfs",
         actually ran; with ``False`` the first failure raises.
     :param faults: optional :class:`~repro.runtime.faults.FaultPlan` for
         deterministic fault injection (testing infrastructure).
+    :param checkpoint: optional
+        :class:`~repro.runtime.checkpoint.CheckpointConfig` (or a
+        directory path) enabling periodic crash-safe snapshots of the
+        in-flight solver, plus one final snapshot when a budget trips.
+    :param resume_from: resume a previous interrupted run: a checkpoint
+        file path, a directory to search, or ``True`` to search
+        ``checkpoint``'s directory.  Discovery is content-addressed (IR
+        hash × rung × ablation flags) and walks the ladder most-precise
+        first; a stale or mismatched checkpoint raises
+        :class:`~repro.errors.CheckpointError`, while "no checkpoint
+        found" in directory mode simply starts fresh.
     :returns: :class:`AndersenResult` or :class:`FlowSensitiveResult`,
         tagged with ``precision_level`` and a ``report``
         (:class:`~repro.runtime.diagnostics.RunReport`).  Unbudgeted
         fault-free runs produce bit-identical points-to results to the
-        ungoverned solvers.
+        ungoverned solvers — and so do resumed runs versus uninterrupted
+        ones.
     """
     if analysis not in ANALYSES:
         raise AnalysisError(f"unknown analysis {analysis!r}; choose from {ANALYSES}")
     module = module_from(source, language)
     pipeline = AnalysisPipeline(module)
+    if isinstance(checkpoint, str):
+        checkpoint = CheckpointConfig(checkpoint)
+    resume_meta = resume_state = None
+    if resume_from:
+        resume_meta, resume_state = _load_resume_state(
+            module, analysis, resume_from, checkpoint, delta, ptrepo)
     return solve_with_ladder(pipeline, analysis=analysis, budget=budget,
                              fallback=fallback, faults=faults, delta=delta,
-                             ptrepo=ptrepo)
+                             ptrepo=ptrepo, checkpoint=checkpoint,
+                             resume_state=resume_state,
+                             resume_meta=resume_meta)
+
+
+def _load_resume_state(module: Module, analysis: str, resume_from,
+                       checkpoint, delta: bool, ptrepo: bool):
+    """Locate and verify the checkpoint ``analyze(resume_from=...)`` names.
+
+    Returns ``(meta, payload)`` or ``(None, None)`` when directory-mode
+    discovery finds nothing (a fresh start, not an error).  An explicit
+    file path that is missing or fails verification always raises.
+    """
+    import os
+
+    from repro.runtime.checkpoint import find_checkpoint, load_checkpoint
+    from repro.runtime.degrade import LADDERS
+    from repro.store.codec import ir_fingerprint
+
+    ir_hash = ir_fingerprint(module)
+    levels = LADDERS[analysis]
+    path = None
+    if isinstance(resume_from, str) and not os.path.isdir(resume_from):
+        path = resume_from  # explicit checkpoint file
+    else:
+        if isinstance(resume_from, str):
+            directory = resume_from
+        elif checkpoint is not None:
+            directory = checkpoint.directory
+        else:
+            raise AnalysisError(
+                "resume_from=True needs a checkpoint directory "
+                "(pass checkpoint=... or a directory path)")
+        for level in levels:  # most precise rung first
+            path = find_checkpoint(directory, ir_hash, level, delta, ptrepo)
+            if path is not None:
+                break
+        if path is None:
+            return None, None
+    meta, payload = load_checkpoint(path, ir_hash=ir_hash,
+                                    delta=delta, ptrepo=ptrepo)
+    if meta.get("analysis") not in levels:
+        raise CheckpointError(
+            f"checkpoint at {path} is for analysis {meta.get('analysis')!r}, "
+            f"not a rung of the {analysis!r} ladder {levels}",
+            reason="config-mismatch", path=path)
+    return meta, payload

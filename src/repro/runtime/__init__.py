@@ -13,10 +13,19 @@ governance & degradation ladder".
 - :mod:`repro.runtime.budget` — :class:`Budget` / :class:`BudgetMeter`;
 - :mod:`repro.runtime.degrade` — the ladder and the Andersen floor;
 - :mod:`repro.runtime.faults` — deterministic fault injection;
-- :mod:`repro.runtime.diagnostics` — :class:`RunReport` attached to results.
+- :mod:`repro.runtime.diagnostics` — :class:`RunReport` attached to results;
+- :mod:`repro.runtime.checkpoint` — crash-safe snapshot/resume of in-flight
+  solver state (:class:`CheckpointConfig` / :class:`Checkpointer`).
 """
 
 from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.checkpoint import (
+    CheckpointConfig,
+    Checkpointer,
+    checkpoint_path,
+    find_checkpoint,
+    load_checkpoint,
+)
 from repro.runtime.degrade import (
     LADDERS,
     andersen_as_flow_sensitive,
@@ -29,6 +38,11 @@ from repro.runtime.faults import FAULT_POINTS, FaultPlan
 __all__ = [
     "Budget",
     "BudgetMeter",
+    "CheckpointConfig",
+    "Checkpointer",
+    "checkpoint_path",
+    "find_checkpoint",
+    "load_checkpoint",
     "FaultPlan",
     "FAULT_POINTS",
     "RunReport",

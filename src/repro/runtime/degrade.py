@@ -29,14 +29,16 @@ for diagnostics.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.andersen import AndersenResult
 from repro.datastructs.bitset import count_bits
-from repro.errors import AnalysisError, ReproError
+from repro.errors import AnalysisError, CheckpointError, ReproError
 from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.checkpoint import CheckpointConfig, Checkpointer
 from repro.runtime.diagnostics import RunReport
 from repro.solvers.base import FlowSensitiveResult, SolverStats
+from repro.store.codec import ir_fingerprint
 
 #: Ladder per requested analysis, most precise first.
 LADDERS = {
@@ -103,7 +105,10 @@ def run_ladder(rungs: Sequence[Rung], budget: Optional[Budget] = None,
                 result = thunk(rung_meter)
             except (ReproError, MemoryError) as exc:
                 report.record_attempt(level, error=exc, meter=meter)
-                if not fallback or index == last:
+                # A rejected checkpoint is an input problem, not a resource
+                # problem: degrading would silently discard the user's
+                # resume request, so it always surfaces (CLI exit code 3).
+                if isinstance(exc, CheckpointError) or not fallback or index == last:
                     report.finish(meter)
                     exc.run_report = report
                     raise
@@ -119,13 +124,25 @@ def run_ladder(rungs: Sequence[Rung], budget: Optional[Budget] = None,
 
 def solve_with_ladder(pipeline, analysis: str = "vsfs",
                       budget: Optional[Budget] = None, fallback: bool = True,
-                      faults=None, delta: bool = True, ptrepo: bool = True):
+                      faults=None, delta: bool = True, ptrepo: bool = True,
+                      checkpoint: Optional[CheckpointConfig] = None,
+                      resume_state=None, resume_meta=None):
     """Run *analysis* on *pipeline* under the degradation ladder.
 
     Returns the usual result object, tagged with ``precision_level``,
     ``degraded_from`` and a ``report`` (:class:`RunReport`).  Unbudgeted,
     fault-free runs execute exactly the ungoverned solver path and are
     bit-identical to calling the pipeline directly.
+
+    With *checkpoint* (a :class:`CheckpointConfig`) each rung gets its own
+    :class:`Checkpointer`, keyed by IR hash × rung × ablation flags — a
+    degraded run's precise-rung checkpoint survives for a later retry.
+    *resume_state*/*resume_meta* (as returned by :func:`load_checkpoint`)
+    restore the matching rung's solver mid-fixpoint before it runs; the
+    state is applied only to the rung whose level equals the manifest's
+    ``analysis``, so a checkpoint from an sfs fallback rung resumes that
+    rung even when vsfs was requested.  On success the completed rung's
+    checkpoint is discarded; more precise rungs' checkpoints are kept.
     """
     levels = LADDERS.get(analysis)
     if levels is None:
@@ -133,21 +150,69 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
             f"unknown analysis {analysis!r}; choose from {tuple(LADDERS)}")
     requested = "andersen" if analysis == "ander" else analysis
 
+    checkpointers: Dict[str, Checkpointer] = {}
+    ir_hash = ir_fingerprint(pipeline.module) if checkpoint is not None else None
+
+    def checkpointer_for(level: str) -> Optional[Checkpointer]:
+        if checkpoint is None:
+            return None
+        ck = checkpointers.get(level)
+        if ck is None:
+            ck = checkpointers[level] = Checkpointer(
+                checkpoint, ir_hash, level, delta=delta, ptrepo=ptrepo)
+        return ck
+
+    resume_level = resume_meta.get("analysis") if resume_meta else None
+    resume_step = resume_meta.get("step", 0) if resume_meta else 0
+    if resume_state is not None and resume_level not in levels:
+        raise CheckpointError(
+            f"checkpoint is for analysis {resume_level!r}, which is not a "
+            f"rung of the {analysis!r} ladder {levels}",
+            reason="config-mismatch")
+
     def make_rung(level: str) -> Rung:
+        ck = checkpointer_for(level)
+        state = resume_state if level == resume_level else None
         if level == "vsfs":
             return level, lambda meter: pipeline.vsfs(
-                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults)
+                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults,
+                checkpointer=ck, resume_state=state, resume_step=resume_step)
         if level == "sfs":
             return level, lambda meter: pipeline.sfs(
-                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults)
+                delta=delta, ptrepo=ptrepo, meter=meter, faults=faults,
+                checkpointer=ck, resume_state=state, resume_step=resume_step)
         if level == "icfg-fs":
-            return level, lambda meter: pipeline.icfg_fs(meter=meter)
+            return level, lambda meter: pipeline.icfg_fs(
+                meter=meter, checkpointer=ck, resume_state=state,
+                resume_step=resume_step)
         # The Andersen rung takes no faults: it is the guaranteed floor.
-        return level, lambda meter: pipeline.andersen(meter=meter)
+        return level, lambda meter: pipeline.andersen(
+            meter=meter, checkpointer=ck, resume_state=state,
+            resume_step=resume_step)
 
-    result, report = run_ladder([make_rung(level) for level in levels],
-                                budget=budget, fallback=fallback,
-                                requested=requested)
+    def stamp(report: RunReport, failure=None) -> None:
+        report.resumed = resume_state is not None
+        report.resumed_from_step = resume_step if report.resumed else None
+        report.resume_count = 1 if report.resumed else 0
+        report.checkpoint_saves = sum(ck.saves for ck in checkpointers.values())
+        report.checkpoint_time_s = sum(
+            ck.total_time for ck in checkpointers.values())
+        if failure is not None:
+            report.checkpoint_path = getattr(failure, "checkpoint_path", None)
+
+    try:
+        result, report = run_ladder([make_rung(level) for level in levels],
+                                    budget=budget, fallback=fallback,
+                                    requested=requested)
+    except (ReproError, MemoryError) as exc:
+        failed_report = getattr(exc, "run_report", None)
+        if failed_report is not None:
+            stamp(failed_report, failure=exc)
+        raise
+    stamp(report)
+    completed = checkpointers.get(report.precision_level)
+    if completed is not None:
+        completed.discard()
     return _tag(result, analysis, report)
 
 

@@ -72,6 +72,14 @@ class RunReport:
     wall_seconds_used: float = 0.0
     steps_used: int = 0
     peak_bytes: Optional[int] = None
+    # Checkpoint/resume accounting (stamped by the ladder when a
+    # CheckpointConfig is active; all-zero otherwise).
+    resumed: bool = False
+    resumed_from_step: Optional[int] = None
+    resume_count: int = 0
+    checkpoint_saves: int = 0
+    checkpoint_time_s: float = 0.0
+    checkpoint_path: Optional[str] = None
 
     # ------------------------------------------------------------- recording
 
@@ -143,6 +151,12 @@ class RunReport:
             "wall_seconds_used": self.wall_seconds_used,
             "steps_used": self.steps_used,
             "peak_bytes": self.peak_bytes,
+            "resumed": self.resumed,
+            "resumed_from_step": self.resumed_from_step,
+            "resume_count": self.resume_count,
+            "checkpoint_saves": self.checkpoint_saves,
+            "checkpoint_time_s": self.checkpoint_time_s,
+            "checkpoint_path": self.checkpoint_path,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
         }
 
@@ -157,6 +171,12 @@ class RunReport:
         lines.append(f"consumed: {consumed}")
         lines.append(f"stage reached: {self.stage_reached or 'none'} "
                      f"(precision: {self.precision_level or 'n/a'})")
+        if self.resumed or self.checkpoint_saves:
+            checkpoints = (f"checkpoints: {self.checkpoint_saves} saved "
+                           f"({self.checkpoint_time_s:.4f}s)")
+            if self.resumed:
+                checkpoints += f", resumed from step {self.resumed_from_step}"
+            lines.append(checkpoints)
         lines.append("attempts:")
         for index, attempt in enumerate(self.attempts, 1):
             lines.append(f"  {index}. {attempt.describe()}")

@@ -165,7 +165,7 @@ class StagedSolverBase:
     analysis_name = "base"
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None):
+                 meter=None, faults=None, checkpointer=None):
         self.svfg = svfg
         self.module = svfg.module
         self.andersen = svfg.andersen
@@ -180,6 +180,13 @@ class StagedSolverBase:
         # an ungoverned run untouched.
         self.meter = meter
         self.faults = faults
+        # Crash safety (repro.runtime.checkpoint): when a Checkpointer is
+        # attached, the solve loop offers the solver for snapshotting on
+        # the configured cadence and on budget exhaustion; restore_state()
+        # reloads a snapshot and run() continues the fixpoint from it.
+        self.checkpointer = checkpointer
+        self._resumed = False
+        self._steps_done = 0  # pops completed in earlier (resumed) runs
         self.stats = SolverStats(
             analysis=self.analysis_name,
             delta_kernel=self.delta,
@@ -224,32 +231,59 @@ class StagedSolverBase:
 
     def run(self) -> FlowSensitiveResult:
         meter = self.meter
+        checkpointer = self.checkpointer
         processed = 0
         begun = time.perf_counter()
+        start = begun
         try:
             if meter is not None:
                 meter.start()
                 meter.check()  # a zero budget trips before any work
-            if self.faults is not None:
-                # Pre-solve stage boundary (immediately before the
-                # versioning pre-analysis, for VSFS).
-                self.faults.fire("pre_meld", self.analysis_name)
-            self._prepare()  # fills stats.pre_time (versioning, for VSFS)
-            start = time.perf_counter()
-            # Seed the worklist with the rule-bearing instruction nodes; memory
-            # nodes (MEMPHI, actual/formal IN/OUT) only act once points-to data
-            # reaches them, which pushes them again.
-            seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
-                          StoreInst, CallInst, RetInst)
-            for node in self.svfg.nodes:
-                if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
-                    self.worklist.push(node.id)
+            if not self._resumed:
+                if self.faults is not None:
+                    # Pre-solve stage boundary (immediately before the
+                    # versioning pre-analysis, for VSFS).
+                    self.faults.fire("pre_meld", self.analysis_name)
+                self._prepare()  # fills stats.pre_time (versioning, for VSFS)
+                start = time.perf_counter()
+                # Seed the worklist with the rule-bearing instruction nodes;
+                # memory nodes (MEMPHI, actual/formal IN/OUT) only act once
+                # points-to data reaches them, which pushes them again.  A
+                # resumed run restores the mid-solve worklist instead.
+                seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
+                              StoreInst, CallInst, RetInst)
+                for node in self.svfg.nodes:
+                    if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
+                        self.worklist.push(node.id)
             worklist = self.worklist
             nodes = self.svfg.nodes
             tick = meter.tick if meter is not None else None
-            if isinstance(worklist, DeltaWorkList):
+            process = self._process
+            if checkpointer is not None:
+                # Governed + checkpointed loop: the cadence probe runs
+                # *before* the pop, so a snapshot always captures a state
+                # whose worklist still holds the next node.
+                maybe = checkpointer.maybe
+                base_steps = self._steps_done
+                if isinstance(worklist, DeltaWorkList):
+                    pop_with_dirty = worklist.pop_with_dirty
+                    while worklist:
+                        if tick is not None:
+                            tick()
+                        maybe(self, base_steps + processed)
+                        node_id, dirty = pop_with_dirty()
+                        processed += 1
+                        process(nodes[node_id], dirty)
+                else:
+                    pop = worklist.pop
+                    while worklist:
+                        if tick is not None:
+                            tick()
+                        maybe(self, base_steps + processed)
+                        processed += 1
+                        process(nodes[pop()], None)
+            elif isinstance(worklist, DeltaWorkList):
                 pop_with_dirty = worklist.pop_with_dirty
-                process = self._process
                 if tick is None:
                     while worklist:
                         node_id, dirty = pop_with_dirty()
@@ -263,7 +297,6 @@ class StagedSolverBase:
                         process(nodes[node_id], dirty)
             else:
                 pop = worklist.pop
-                process = self._process
                 if tick is None:
                     while worklist:
                         processed += 1
@@ -274,15 +307,21 @@ class StagedSolverBase:
                         processed += 1
                         process(nodes[pop()], None)
         except BudgetExceeded as exc:
-            self.stats.nodes_processed = processed
+            self.stats.nodes_processed = self._steps_done + processed
             self.stats.solve_time = time.perf_counter() - begun
             exc.attach(
                 stage=self.analysis_name, stats=self.stats,
                 partial_result=FlowSensitiveResult(
                     self.module, self.pt, self.callgraph, self.stats,
                     complete=False))
+            if checkpointer is not None:
+                try:
+                    exc.checkpoint_path = checkpointer.save(
+                        self, self._steps_done + processed, reason="budget")
+                except OSError:
+                    pass  # a full disk must not mask the budget signal
             raise
-        self.stats.nodes_processed = processed
+        self.stats.nodes_processed = self._steps_done + processed
         self.stats.solve_time = time.perf_counter() - start
         self.stats.callgraph_edges = self.callgraph.num_edges()
         self.stats.top_level_bits = sum(count_bits(mask) for mask in self.pt)
@@ -291,6 +330,106 @@ class StagedSolverBase:
 
     def _prepare(self) -> None:
         """Hook: pre-solve setup (VSFS runs versioning here)."""
+
+    # ----------------------------------------------------------- persistence
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Everything needed to continue this solve in a fresh process.
+
+        Top-level masks are hex strings; the memory layer (IN/OUT maps or
+        the versioned global table, plus the PTRepo interning table) comes
+        from the subclass hook ``_snapshot_memory``; call edges and field
+        objects are stored as replayable references (see
+        :mod:`repro.store.codec`).
+        """
+        from repro.store.codec import snapshot_call_edges, snapshot_fields
+
+        stats = self.stats
+        return {
+            "pt": [format(mask, "x") for mask in self.pt],
+            "worklist": self.worklist.snapshot(),
+            "call_edges": snapshot_call_edges(self.callgraph),
+            "fields": snapshot_fields(self.module),
+            "mem": self._snapshot_memory(),
+            "counters": {
+                "pre_time": stats.pre_time,
+                "propagations": stats.propagations,
+                "unions": stats.unions,
+                "strong_updates": stats.strong_updates,
+                "weak_updates": stats.weak_updates,
+                "indirect_calls_resolved": stats.indirect_calls_resolved,
+            },
+        }
+
+    def restore_state(self, payload: Dict[str, object], step: int) -> None:
+        """Reload :meth:`snapshot_state` output; the next :meth:`run`
+        continues the fixpoint instead of starting one.
+
+        Any structural mismatch in the payload surfaces as a typed
+        :class:`CheckpointError` — a damaged file must never half-restore
+        or leak a ``KeyError`` out of the solver.
+        """
+        from repro.errors import CheckpointError
+        from repro.store.codec import replay_fields
+
+        try:
+            replay_fields(self.module, payload["fields"])
+            self._replay_call_edges(payload["call_edges"])
+            pt = [int(text, 16) for text in payload["pt"]]
+            if len(pt) != len(self.pt):
+                raise CheckpointError(
+                    f"top-level table has {len(pt)} entries, module has "
+                    f"{len(self.pt)} variables")
+            self.pt = pt
+            self._restore_pre(payload)
+            self._restore_memory(payload["mem"])
+            self.worklist.restore(payload["worklist"])
+            counters = payload["counters"]
+            stats = self.stats
+            stats.pre_time = counters["pre_time"]
+            stats.propagations = counters["propagations"]
+            stats.unions = counters["unions"]
+            stats.strong_updates = counters["strong_updates"]
+            stats.weak_updates = counters["weak_updates"]
+            stats.indirect_calls_resolved = counters["indirect_calls_resolved"]
+        except CheckpointError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError, AttributeError) as err:
+            raise CheckpointError(
+                f"checkpoint payload does not restore cleanly: "
+                f"{type(err).__name__}: {err}", reason="corrupt") from err
+        self._steps_done = step
+        self._resumed = True
+        if self.checkpointer is not None:
+            self.checkpointer.mark_resumed(step)
+
+    def _replay_call_edges(self, edges) -> None:
+        """Re-wire OTF-discovered call edges into the fresh SVFG.
+
+        Rebuilds the call graph and the SVFG's interprocedural indirect
+        edges (``connect_callsite``); the versioning constraints those
+        edges induced for VSFS are restored wholesale from the snapshot, so
+        ``_on_new_call_edge`` is deliberately *not* replayed.
+        """
+        from repro.store.codec import call_sites_by_id, resolve_call_edge
+
+        sites = call_sites_by_id(self.module)
+        for inst_id, callee_name in edges:
+            call, callee = resolve_call_edge(self.module, sites, inst_id,
+                                             callee_name)
+            if self.callgraph.add_edge(call, callee):
+                self.svfg.connect_callsite(call, callee)
+
+    def _restore_pre(self, payload: Dict[str, object]) -> None:
+        """Hook: restore pre-analysis state (VSFS: versioning + readers)."""
+
+    def _snapshot_memory(self) -> Dict[str, object]:
+        """Hook: the solver's address-taken memory representation."""
+        raise NotImplementedError
+
+    def _restore_memory(self, mem: Dict[str, object]) -> None:
+        """Hook: inverse of ``_snapshot_memory``."""
+        raise NotImplementedError
 
     def _process(self, node: SVFGNode, dirty: Optional[Dict[int, int]] = None) -> None:
         """Apply *node*'s transfer rule.

@@ -51,9 +51,11 @@ class ICFGFlowSensitive:
 
     analysis_name = "icfg-fs"
 
-    def __init__(self, module: Module, meter=None):
+    def __init__(self, module: Module, meter=None, checkpointer=None):
         self.module = module
         self.meter = meter
+        self.checkpointer = checkpointer
+        self._resumed = False
         self.pt: List[int] = [0] * len(module.variables)
         self.in_sets: Dict[Instruction, Dict[int, int]] = {}
         self.out_sets: Dict[Instruction, Dict[int, int]] = {}
@@ -139,13 +141,26 @@ class ICFGFlowSensitive:
     def run(self) -> FlowSensitiveResult:
         start = time.perf_counter()
         meter = self.meter
+        checkpointer = self.checkpointer
         try:
             if meter is not None:
                 meter.start()
                 meter.check()
-            for inst in self.module.instructions():
-                self.worklist.push(inst)
-            if meter is not None:
+            if not self._resumed:
+                for inst in self.module.instructions():
+                    self.worklist.push(inst)
+            if checkpointer is not None:
+                tick = meter.tick if meter is not None else None
+                while self.worklist:
+                    if tick is not None:
+                        tick()
+                    checkpointer.maybe(self, self.stats.nodes_processed)
+                    inst = self.worklist.pop()
+                    self.stats.nodes_processed += 1
+                    self._transfer(inst)
+                    for succ in self._succs.get(inst, ()):
+                        self._join_out_into(inst, succ)
+            elif meter is not None:
                 tick = meter.tick
                 while self.worklist:
                     tick()
@@ -170,12 +185,125 @@ class ICFGFlowSensitive:
                     self.module, self.pt, self.callgraph, self.stats,
                     complete=False),
             )
+            if checkpointer is not None:
+                try:
+                    exc.checkpoint_path = checkpointer.save(
+                        self, self.stats.nodes_processed, reason="budget")
+                except OSError:
+                    pass  # a full disk must not mask the budget signal
             raise
         self.stats.solve_time = time.perf_counter() - start
         self.stats.callgraph_edges = self.callgraph.num_edges()
         self.stats.top_level_bits = sum(count_bits(mask) for mask in self.pt)
         self._memory_footprint()
         return FlowSensitiveResult(self.module, self.pt, self.callgraph, self.stats)
+
+    # ----------------------------------------------------------- persistence
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Dense IN/OUT maps keyed by instruction id, plus the worklist in
+        queue order, the OTF call edges, and lazily created field objects."""
+        from repro.store.codec import snapshot_call_edges, snapshot_fields
+
+        def encode(sets: Dict[Instruction, Dict[int, int]]
+                   ) -> Dict[str, Dict[str, str]]:
+            return {
+                str(inst.id): {str(oid): format(mask, "x")
+                               for oid, mask in table.items()}
+                for inst, table in sets.items()
+            }
+
+        stats = self.stats
+        return {
+            "pt": [format(mask, "x") for mask in self.pt],
+            "in": encode(self.in_sets),
+            "out": encode(self.out_sets),
+            "worklist": [inst.id for inst in self.worklist.snapshot()["items"]],
+            "call_edges": snapshot_call_edges(self.callgraph),
+            "fields": snapshot_fields(self.module),
+            "counters": {
+                "nodes_processed": stats.nodes_processed,
+                "propagations": stats.propagations,
+                "unions": stats.unions,
+                "strong_updates": stats.strong_updates,
+                "weak_updates": stats.weak_updates,
+                "indirect_calls_resolved": stats.indirect_calls_resolved,
+            },
+        }
+
+    def restore_state(self, payload: Dict[str, object], step: int) -> None:
+        """Reload :meth:`snapshot_state`; :meth:`run` then continues it."""
+        from repro.errors import CheckpointError
+        from repro.store.codec import (
+            call_sites_by_id,
+            replay_fields,
+            resolve_call_edge,
+        )
+
+        try:
+            replay_fields(self.module, payload["fields"])
+            by_id: Dict[int, Instruction] = {
+                inst.id: inst for inst in self.module.instructions()}
+
+            def decode(sets: Dict[str, Dict[str, str]]
+                       ) -> Dict[Instruction, Dict[int, int]]:
+                decoded: Dict[Instruction, Dict[int, int]] = {}
+                for inst_id, table in sets.items():
+                    inst = by_id.get(int(inst_id))
+                    if inst is None:
+                        raise CheckpointError(
+                            f"IN/OUT table refers to unknown instruction "
+                            f"{inst_id}")
+                    decoded[inst] = {int(oid): int(mask, 16)
+                                     for oid, mask in table.items()}
+                return decoded
+
+            pt = [int(text, 16) for text in payload["pt"]]
+            if len(pt) != len(self.pt):
+                raise CheckpointError(
+                    f"top-level table has {len(pt)} entries, module has "
+                    f"{len(self.pt)} variables")
+            self.pt = pt
+            self.in_sets = decode(payload["in"])
+            self.out_sets = decode(payload["out"])
+            # Call edges also re-wire the interprocedural CFG edges that
+            # _transfer_call added when it discovered them (entry/exit →
+            # return-site); _add_icfg_edge pushes onto the worklist, which
+            # is harmless because the recorded worklist is restored below.
+            sites = call_sites_by_id(self.module)
+            for inst_id, callee_name in payload["call_edges"]:
+                call, callee = resolve_call_edge(self.module, sites, inst_id,
+                                                 callee_name)
+                if self.callgraph.add_edge(call, callee):
+                    self._add_icfg_edge(call, callee.entry_inst)
+                    exit_inst = callee.exit_inst()
+                    if exit_inst is not None:
+                        self._add_icfg_edge(exit_inst, self._return_site(call))
+            items: List[Instruction] = []
+            for inst_id in payload["worklist"]:
+                inst = by_id.get(int(inst_id))
+                if inst is None:
+                    raise CheckpointError(
+                        f"worklist refers to unknown instruction {inst_id}")
+                items.append(inst)
+            self.worklist.restore({"items": items})
+            counters = payload["counters"]
+            stats = self.stats
+            stats.nodes_processed = counters["nodes_processed"]
+            stats.propagations = counters["propagations"]
+            stats.unions = counters["unions"]
+            stats.strong_updates = counters["strong_updates"]
+            stats.weak_updates = counters["weak_updates"]
+            stats.indirect_calls_resolved = counters["indirect_calls_resolved"]
+        except CheckpointError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError, AttributeError) as err:
+            raise CheckpointError(
+                f"checkpoint payload does not restore cleanly: "
+                f"{type(err).__name__}: {err}", reason="corrupt") from err
+        self._resumed = True
+        if self.checkpointer is not None:
+            self.checkpointer.mark_resumed(step)
 
     def _transfer(self, inst: Instruction) -> None:
         in_set = self.in_sets.get(inst, {})
@@ -284,6 +412,8 @@ class ICFGFlowSensitive:
         self.stats.stored_ptset_bits = bits
 
 
-def run_icfg_fs(module: Module, meter=None) -> FlowSensitiveResult:
+def run_icfg_fs(module: Module, meter=None,
+                checkpointer=None) -> FlowSensitiveResult:
     """Run the dense ICFG flow-sensitive analysis (small programs only)."""
-    return ICFGFlowSensitive(module, meter=meter).run()
+    return ICFGFlowSensitive(module, meter=meter,
+                             checkpointer=checkpointer).run()

@@ -36,9 +36,9 @@ class SFSAnalysis(StagedSolverBase):
     analysis_name = "sfs"
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None):
+                 meter=None, faults=None, checkpointer=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults)
+                         faults=faults, checkpointer=checkpointer)
         # IN/OUT maps, lazily created per node id: {obj id -> entry}, where
         # an entry is a PTRepo id (ptrepo on) or a raw mask (ptrepo off).
         self.in_sets: Dict[int, Dict[int, int]] = {}
@@ -222,6 +222,50 @@ class SFSAnalysis(StagedSolverBase):
         for oid, entry in in_set.items():
             self._propagate(node.id, oid, entry_mask(entry))
 
+    # ----------------------------------------------------------- persistence
+
+    def _snapshot_memory(self) -> Dict[str, object]:
+        """IN/OUT maps plus the PTRepo interning table.
+
+        With the repo on, entries are small dense ids and the repo's mask
+        list carries each distinct set exactly once — the deduplicated
+        representation is also the compact wire format (the MDE storage
+        story).  Entries are hex-encoded either way; repo ids just make
+        for very short strings.
+        """
+        def encode(sets: Dict[int, Dict[int, int]]) -> Dict[str, Dict[str, str]]:
+            return {
+                str(node_id): {str(oid): format(entry, "x")
+                               for oid, entry in table.items()}
+                for node_id, table in sets.items()
+            }
+
+        return {
+            "repo": self.ptrepo.snapshot() if self.ptrepo is not None else None,
+            "in": encode(self.in_sets),
+            "out": encode(self.out_sets),
+        }
+
+    def _restore_memory(self, mem: Dict[str, object]) -> None:
+        from repro.datastructs.ptrepo import PTRepo
+        from repro.errors import CheckpointError
+
+        if self.ptrepo is not None:
+            if mem["repo"] is None:
+                raise CheckpointError(
+                    "checkpoint lacks the ptrepo interning table")
+            self.ptrepo = PTRepo.from_snapshot(mem["repo"])
+
+        def decode(sets: Dict[str, Dict[str, str]]) -> Dict[int, Dict[int, int]]:
+            return {
+                int(node_id): {int(oid): int(entry, 16)
+                               for oid, entry in table.items()}
+                for node_id, table in sets.items()
+            }
+
+        self.in_sets = decode(mem["in"])
+        self.out_sets = decode(mem["out"])
+
     # --------------------------------------------------------------- summary
 
     def _memory_footprint(self) -> None:
@@ -234,7 +278,7 @@ class SFSAnalysis(StagedSolverBase):
 
 
 def run_sfs(svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-            meter=None, faults=None) -> FlowSensitiveResult:
+            meter=None, faults=None, checkpointer=None) -> FlowSensitiveResult:
     """Run staged flow-sensitive analysis over a built SVFG."""
     return SFSAnalysis(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                       faults=faults).run()
+                       faults=faults, checkpointer=checkpointer).run()

@@ -1,0 +1,200 @@
+"""Content-addressed on-disk store for completed analysis results.
+
+Keying is structural, never positional: an entry's name is
+``sha256(ir_hash | analysis | delta | ptrepo)`` where ``ir_hash`` is the
+SHA-256 of the module's printed IR (:func:`ir_fingerprint`).  Asking for the
+same program under the same solver and ablation configuration therefore hits
+the cache; recompiling an *edited* program changes the IR hash and misses —
+stale answers cannot be served.
+
+Entries are sealed documents (:mod:`repro.store.atomic`): every read
+re-verifies the checksum, the artifact kind, the schema version, and the
+recorded IR hash/configuration.  Anything that fails verification is moved
+to quarantine (``*.quarantined``) and reported as a typed
+:class:`~repro.errors.CheckpointError` — the store never silently returns
+damaged or mismatched data, and a damaged entry can never be loaded twice.
+
+Only *complete, non-degraded* results are admitted by the CLI: a degraded
+answer is sound but less precise than what the key promises, and a partial
+fixpoint is not sound at all.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.andersen import AndersenResult, AndersenStats
+from repro.analysis.callgraph import CallGraph
+from repro.errors import CheckpointError
+from repro.ir.module import Module
+from repro.solvers.base import FlowSensitiveResult, SolverStats
+from repro.store.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    dec_mask_list,
+    enc_mask_list,
+    quarantine_file,
+    read_sealed_json,
+    write_sealed_json,
+)
+from repro.store.codec import (
+    ir_fingerprint,
+    replay_call_edges,
+    replay_fields,
+    result_key,
+    snapshot_call_edges,
+    snapshot_fields,
+)
+
+__all__ = [
+    "ResultStore",
+    "STORE_SCHEMA",
+    "atomic_write_json",
+    "atomic_write_text",
+    "ir_fingerprint",
+    "result_key",
+]
+
+#: Bumped whenever the stored-result payload layout changes.
+STORE_SCHEMA = 1
+
+
+# -------------------------------------------------------------- result codecs
+
+def _encode_result(result: Union[FlowSensitiveResult, AndersenResult]) -> Dict[str, Any]:
+    if isinstance(result, FlowSensitiveResult):
+        return {
+            "result_type": "flow-sensitive",
+            "pt": enc_mask_list(result._pt),
+            "call_edges": snapshot_call_edges(result.callgraph),
+            "fields": snapshot_fields(result.module),
+            "stats": asdict(result.stats),
+            "precision_level": result.precision_level,
+            "degraded_from": result.degraded_from,
+        }
+    if isinstance(result, AndersenResult):
+        return {
+            "result_type": "andersen",
+            "var_pts": enc_mask_list(result._var_pts),
+            "obj_pts": enc_mask_list(result._obj_pts),
+            "call_edges": snapshot_call_edges(result.callgraph),
+            "fields": snapshot_fields(result.module),
+            "stats": asdict(result.stats),
+        }
+    raise CheckpointError(
+        f"cannot store result of type {type(result).__name__}",
+        reason="kind")
+
+
+def _decode_result(module: Module, payload: Dict[str, Any]
+                   ) -> Union[FlowSensitiveResult, AndersenResult]:
+    result_type = payload["result_type"]
+    replay_fields(module, payload["fields"])
+    callgraph = CallGraph(module)
+    replay_call_edges(module, callgraph, payload["call_edges"])
+    if result_type == "flow-sensitive":
+        stats = SolverStats(**payload["stats"])
+        return FlowSensitiveResult(
+            module, dec_mask_list(payload["pt"]), callgraph, stats,
+            precision_level=payload.get("precision_level"),
+            degraded_from=payload.get("degraded_from"))
+    if result_type == "andersen":
+        stats = AndersenStats(**payload["stats"])
+        return AndersenResult(
+            module, dec_mask_list(payload["var_pts"]),
+            dec_mask_list(payload["obj_pts"]), callgraph, stats)
+    raise CheckpointError(
+        f"unknown stored result type {result_type!r}", reason="corrupt")
+
+
+# -------------------------------------------------------------------- the store
+
+class ResultStore:
+    """Directory of sealed result entries, addressed by :func:`result_key`."""
+
+    KIND = "result"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined: List[str] = []
+        self.last_path: Optional[str] = None  # entry behind the last hit/put
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"result-{key}.json")
+
+    # ---------------------------------------------------------------- writing
+
+    def put(self, module: Module, analysis: str, delta: bool, ptrepo: bool,
+            result: Union[FlowSensitiveResult, AndersenResult],
+            ir_hash: Optional[str] = None) -> str:
+        """Persist *result* under its content key; returns the entry path."""
+        ir_hash = ir_hash or ir_fingerprint(module)
+        key = result_key(ir_hash, analysis, delta, ptrepo)
+        path = self.entry_path(key)
+        meta = {
+            "ir_hash": ir_hash,
+            "analysis": analysis,
+            "delta": bool(delta),
+            "ptrepo": bool(ptrepo),
+        }
+        write_sealed_json(path, self.KIND, STORE_SCHEMA, meta,
+                          _encode_result(result))
+        self.last_path = path
+        return path
+
+    # ---------------------------------------------------------------- reading
+
+    def get(self, module: Module, analysis: str, delta: bool, ptrepo: bool,
+            ir_hash: Optional[str] = None
+            ) -> Optional[Union[FlowSensitiveResult, AndersenResult]]:
+        """Load the entry for this configuration, fully verified.
+
+        Returns ``None`` on a clean miss.  A present-but-untrustworthy
+        entry (corrupt bytes, bad checksum, recorded for a different
+        program or configuration, undecodable payload) is quarantined and
+        reported as :class:`CheckpointError`.
+        """
+        ir_hash = ir_hash or ir_fingerprint(module)
+        key = result_key(ir_hash, analysis, delta, ptrepo)
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            meta, payload = read_sealed_json(path, self.KIND, STORE_SCHEMA)
+            if meta.get("ir_hash") != ir_hash:
+                raise CheckpointError(
+                    "entry was recorded for a different program "
+                    f"(IR hash {meta.get('ir_hash')!r})",
+                    reason="ir-mismatch", path=path)
+            if (meta.get("analysis") != analysis
+                    or bool(meta.get("delta")) != bool(delta)
+                    or bool(meta.get("ptrepo")) != bool(ptrepo)):
+                raise CheckpointError(
+                    "entry was recorded for a different solver/ablation "
+                    f"configuration ({meta.get('analysis')}, "
+                    f"delta={meta.get('delta')}, ptrepo={meta.get('ptrepo')})",
+                    reason="config-mismatch", path=path)
+            try:
+                result = _decode_result(module, payload)
+            except CheckpointError:
+                raise
+            except (KeyError, ValueError, TypeError, IndexError,
+                    AttributeError) as err:
+                raise CheckpointError(
+                    f"stored payload does not decode cleanly: "
+                    f"{type(err).__name__}: {err}",
+                    reason="corrupt", path=path) from err
+        except CheckpointError as err:
+            quarantined = quarantine_file(path)
+            self.quarantined.append(quarantined)
+            err.path = quarantined
+            raise
+        self.hits += 1
+        self.last_path = path
+        return result

@@ -1,0 +1,196 @@
+"""Kill-at-step-N × resume: resumed runs must be bit-identical.
+
+The solvers are monotone fixpoint computations, so a checkpoint taken at
+any intermediate step captures a valid lattice point; continuing from it
+in a *fresh* process (modelled here by a fresh compile of the same
+source) must converge to exactly the same points-to solution as the
+uninterrupted run — not merely an equivalent one.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import BudgetExceeded, CheckpointError
+from repro.frontend import compile_c
+from repro.pipeline import analyze
+from repro.runtime import Budget, CheckpointConfig, load_checkpoint
+
+# Indirect calls (OTF edges), loads/stores through globals, and heap
+# allocation keep every solver feature on the resume path.
+PROGRAM = """
+    struct node { int v; struct node *f0; };
+    struct node *g;
+    struct node *cb1(struct node *a, struct node *b) { g = a; return b; }
+    struct node *cb2(struct node *a, struct node *b) { g = b; return a; }
+    fnptr h;
+    int main(int c) {
+        struct node *n = (struct node*)malloc(sizeof(struct node));
+        if (c) { h = cb1; } else { h = cb2; }
+        struct node *r = h(n, g);
+        return 0;
+    }
+"""
+
+ABLATIONS = {
+    "default": (True, True),
+    "no-delta": (False, True),
+    "no-ptrepo": (True, False),
+    "neither": (False, False),
+}
+
+MATRIX = [
+    (analysis, ablation, kill_at)
+    for analysis in ("sfs", "vsfs")
+    for ablation in ABLATIONS
+    for kill_at in (3, 11)
+] + [
+    ("ander", "default", 3),
+    ("ander", "default", 11),
+    ("icfg-fs", "default", 3),
+    ("icfg-fs", "default", 11),
+]
+
+
+def _interrupt(tmp_path, analysis, delta, ptrepo, kill_at):
+    """Budget-kill a run at *kill_at* steps; returns the checkpoint path."""
+    config = CheckpointConfig(str(tmp_path), every_steps=2)
+    with pytest.raises(BudgetExceeded) as exc:
+        analyze(compile_c(PROGRAM), analysis=analysis,
+                budget=Budget(max_steps=kill_at), fallback=False,
+                checkpoint=config, delta=delta, ptrepo=ptrepo)
+    path = exc.value.checkpoint_path
+    assert path is not None and os.path.exists(path)
+    report = exc.value.run_report
+    assert report.checkpoint_saves >= 1
+    assert report.checkpoint_path == path
+    return config, path
+
+
+class TestKillResumeMatrix:
+    @pytest.mark.parametrize("analysis,ablation,kill_at", MATRIX,
+                             ids=lambda p: str(p))
+    def test_resume_is_bit_identical(self, tmp_path, analysis, ablation,
+                                     kill_at):
+        delta, ptrepo = ABLATIONS[ablation]
+        clean = analyze(compile_c(PROGRAM), analysis=analysis,
+                        delta=delta, ptrepo=ptrepo)
+        config, __ = _interrupt(tmp_path, analysis, delta, ptrepo, kill_at)
+        resumed = analyze(compile_c(PROGRAM), analysis=analysis,
+                          checkpoint=config, resume_from=True,
+                          delta=delta, ptrepo=ptrepo)
+        assert resumed.report.resumed
+        assert resumed.report.resumed_from_step is not None
+        assert resumed.snapshot() == clean.snapshot()
+        # The completed run discarded its own checkpoint.
+        assert not any(name.startswith("ckpt-")
+                       for name in os.listdir(tmp_path))
+
+    def test_resume_via_explicit_path(self, tmp_path):
+        clean = analyze(compile_c(PROGRAM), analysis="vsfs")
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        resumed = analyze(compile_c(PROGRAM), analysis="vsfs",
+                          resume_from=path)
+        assert resumed.report.resumed
+        assert resumed.snapshot() == clean.snapshot()
+
+    def test_resume_from_empty_directory_starts_fresh(self, tmp_path):
+        config = CheckpointConfig(str(tmp_path))
+        result = analyze(compile_c(PROGRAM), analysis="vsfs",
+                         checkpoint=config, resume_from=True)
+        assert not result.report.resumed
+        clean = analyze(compile_c(PROGRAM), analysis="vsfs")
+        assert result.snapshot() == clean.snapshot()
+
+    def test_repeated_interrupts_chain(self, tmp_path):
+        """Kill, resume-and-kill again, then finish: still bit-identical."""
+        clean = analyze(compile_c(PROGRAM), analysis="vsfs")
+        config, __ = _interrupt(tmp_path, "vsfs", True, True, 3)
+        with pytest.raises(BudgetExceeded):
+            analyze(compile_c(PROGRAM), analysis="vsfs", checkpoint=config,
+                    resume_from=True, budget=Budget(max_steps=4),
+                    fallback=False)
+        resumed = analyze(compile_c(PROGRAM), analysis="vsfs",
+                          checkpoint=config, resume_from=True)
+        assert resumed.report.resumed
+        assert resumed.snapshot() == clean.snapshot()
+
+
+class TestRejection:
+    def test_explicit_missing_path_raises(self):
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(PROGRAM), analysis="vsfs",
+                    resume_from="/nonexistent/ckpt.json")
+        assert exc.value.reason == "missing"
+
+    def test_edited_program_rejected(self, tmp_path):
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        edited = PROGRAM.replace("g = a", "g = b")
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(edited), analysis="vsfs", resume_from=path)
+        assert exc.value.reason == "ir-mismatch"
+
+    def test_wrong_ablation_rejected(self, tmp_path):
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(PROGRAM), analysis="vsfs", resume_from=path,
+                    delta=False)
+        assert exc.value.reason == "config-mismatch"
+
+    def test_wrong_ladder_rejected(self, tmp_path):
+        __, path = _interrupt(tmp_path, "icfg-fs", True, True, 5)
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(PROGRAM), analysis="sfs", resume_from=path)
+        assert exc.value.reason == "config-mismatch"
+
+    def test_corrupt_checkpoint_raises_typed_error(self, tmp_path):
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        with open(path, "r+b") as handle:
+            handle.seek(200)
+            handle.write(b"\x00\x00\x00")
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(PROGRAM), analysis="vsfs", resume_from=path)
+        assert exc.value.reason == "corrupt"
+        # Quarantined: a directory-mode retry now starts fresh.
+        assert not os.path.exists(path)
+
+    def test_truncated_checkpoint_raises_typed_error(self, tmp_path):
+        config, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(CheckpointError) as exc:
+            analyze(compile_c(PROGRAM), analysis="vsfs",
+                    checkpoint=config, resume_from=True)
+        assert exc.value.reason == "corrupt"
+
+    def test_corruption_never_degrades(self, tmp_path):
+        """A bad checkpoint must surface even with fallback enabled."""
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        with pytest.raises(CheckpointError):
+            analyze(compile_c(PROGRAM), analysis="vsfs", resume_from=path,
+                    fallback=True)
+
+
+class TestCheckpointManifest:
+    def test_manifest_records_run_identity(self, tmp_path):
+        __, path = _interrupt(tmp_path, "vsfs", True, True, 5)
+        meta, payload = load_checkpoint(path)
+        assert meta["analysis"] == "vsfs"
+        assert meta["delta"] is True and meta["ptrepo"] is True
+        assert meta["reason"] == "budget"
+        assert isinstance(meta["step"], int) and meta["step"] >= 0
+        assert isinstance(payload, dict) and "worklist" in payload
+
+    def test_budget_save_beats_cadence(self, tmp_path):
+        """Even with a huge cadence, the budget trip itself checkpoints."""
+        config = CheckpointConfig(str(tmp_path), every_steps=10 ** 9)
+        with pytest.raises(BudgetExceeded) as exc:
+            analyze(compile_c(PROGRAM), analysis="vsfs",
+                    budget=Budget(max_steps=5), fallback=False,
+                    checkpoint=config)
+        assert exc.value.checkpoint_path is not None
+        meta, __ = load_checkpoint(exc.value.checkpoint_path)
+        assert meta["reason"] == "budget"

@@ -114,11 +114,13 @@ PUBLIC_LAYERS = (
     "analysis",
     "pipeline.py",
     "cli.py",
+    "store",
+    "batch.py",
 )
 
 ALLOWED_RAISES = {
     "ReproError", "IRError", "ParseError", "AnalysisError", "SolverError",
-    "BudgetExceeded", "InjectedFault",
+    "BudgetExceeded", "InjectedFault", "CheckpointError",
     "NotImplementedError", "AssertionError",
 }
 
