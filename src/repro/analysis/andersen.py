@@ -112,7 +112,10 @@ class AndersenAnalysis:
     COLLAPSE_PERIOD = 20_000
 
     def __init__(self, module: Module, collapse_cycles: bool = True, meter=None,
-                 checkpointer=None):
+                 checkpointer=None, ctx=None):
+        if ctx is not None:
+            meter = ctx.meter if meter is None else meter
+            checkpointer = ctx.checkpointer if checkpointer is None else checkpointer
         self.module = module
         self.collapse_cycles = collapse_cycles
         self.meter = meter

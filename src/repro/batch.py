@@ -14,7 +14,8 @@ resort, after every resume-and-retry has been spent.
 
 The aggregate JSON (``--output``) records every attempt's exit code,
 duration and timeout/kill disposition plus each worker's own run report
-(collected via ``--report-json``), and is written atomically.
+(collected via ``--report-json``, including its per-stage trace, which
+is summed into batch-wide ``stage_totals``), and is written atomically.
 
 Exit code: 0 when every program produced a result, 1 otherwise.
 """
@@ -144,10 +145,16 @@ def _attempt_cmd(args: argparse.Namespace, file: str, ckdir: Optional[str],
 
 def _run_program(args: argparse.Namespace, env: Dict[str, str],
                  file: str) -> Dict[str, Any]:
+    import tempfile
+
     ckdir = (os.path.join(args.checkpoint_dir, _slug(file))
              if args.checkpoint_dir else None)
-    report_json = (os.path.join(ckdir, "report.json")
-                   if ckdir is not None else None)
+    if ckdir is not None:
+        report_json = os.path.join(ckdir, "report.json")
+    else:
+        # Workers always report (per-stage trace feeds the aggregate).
+        report_json = os.path.join(
+            tempfile.mkdtemp(prefix="repro-batch-report-"), "report.json")
     record: Dict[str, Any] = {"file": file, "analysis": args.analysis,
                               "attempts": [], "status": "failed",
                               "resume_count": 0}
@@ -195,6 +202,31 @@ def _run_program(args: argparse.Namespace, env: Dict[str, str],
     return record
 
 
+def _stage_totals(records: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Aggregate each worker's per-stage trace: total wall, runs, cache
+    hits per stage across the batch (substrate stages keep
+    ``main_phase: false`` — the paper excludes them from the timed main
+    phase)."""
+    totals: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        payload = record.get("report") or {}
+        for stage in payload.get("stages") or []:
+            name = stage.get("stage")
+            if not isinstance(name, str):
+                continue
+            entry = totals.setdefault(name, {
+                "runs": 0, "wall_seconds": 0.0, "cache_hits": 0,
+                "main_phase": bool(stage.get("main_phase")),
+            })
+            entry["runs"] += 1
+            entry["wall_seconds"] += float(stage.get("wall_s") or 0.0)
+            if stage.get("cache_hit"):
+                entry["cache_hits"] += 1
+    for entry in totals.values():
+        entry["wall_seconds"] = round(entry["wall_seconds"], 6)
+    return totals
+
+
 def batch_main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     env = _worker_env()
@@ -212,6 +244,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         "ok": len(records) - len(failed),
         "failed": len(failed),
         "wall_seconds": round(time.monotonic() - begun, 3),
+        "stage_totals": _stage_totals(records),
         "results": records,
     }
     if args.output:

@@ -3,8 +3,11 @@
 Replicates the paper's measurement protocol: the auxiliary (Andersen)
 analysis, memory SSA and SVFG construction are *excluded* from the SFS/VSFS
 "main phase" times; VSFS's versioning time is reported separately (Table
-III's "ver." column).  Each solver gets its own freshly built SVFG because
-on-the-fly call graph resolution mutates the graph.
+III's "ver." column).  Solves run through the stage-graph engine, so each
+solver gets its own copy of the shared SVFG build (on-the-fly call graph
+resolution mutates the graph) and every run is traced — the JSON output
+embeds the per-stage wall/steps breakdown with substrate stages marked
+``main_phase: false``.
 """
 
 from __future__ import annotations
@@ -15,11 +18,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.metrics import BenchmarkMeasurement, measure_analysis
 from repro.bench.workloads import SUITE, suite_program, suite_source_loc
-from repro.core.vsfs import VSFSAnalysis
 from repro.pipeline import AnalysisPipeline
 from repro.runtime.budget import Budget
 from repro.runtime.degrade import andersen_as_flow_sensitive, run_ladder
-from repro.solvers.sfs import SFSAnalysis
 from repro.svfg.builder import SVFGStats
 
 
@@ -120,9 +121,14 @@ class SuiteResult:
                 "stored_sets_ratio": self.stored_sets_ratio(),
             },
             "precision_identical": self.precision_identical(),
+            "stages": self.stages,
         }
 
     _identical: bool = field(default=True, repr=False)
+    #: Per-stage wall/steps trace from the pipeline's engine (substrate
+    #: stages carry ``main_phase: false`` — excluded from the timed main
+    #: phase, matching Table III's protocol).
+    stages: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
 
 
 def run_suite_program(name: str, check_equivalence: bool = True,
@@ -142,17 +148,18 @@ def run_suite_program(name: str, check_equivalence: bool = True,
     svfg_stats = pipeline.svfg().stats()
 
     # The paper excludes auxiliary analysis, memory SSA and SVFG
-    # construction from the measured phase, so each run gets a pre-built
-    # SVFG (fresh per run: OTF call graph resolution mutates it).
+    # construction from the measured phase; the engine builds that
+    # substrate once and hands every solve its own copy of the SVFG
+    # (OTF call graph resolution mutates it).
     sfs_solver_holder = {}
     vsfs_solver_holder = {}
-    svfgs = {key: pipeline.fresh_svfg() for key in ("sfs-t", "sfs-m", "vsfs-t", "vsfs-m")}
 
-    def governed(label: str, cls, svfg_key: str):
-        """Run *cls* on its pre-built SVFG under the ladder; tag the result."""
+    def governed(label: str):
+        """Run one engine solve under the ladder; tag the result."""
+        method = pipeline.sfs if label == "sfs" else pipeline.vsfs
         result, report = run_ladder(
             [
-                (label, lambda meter: cls(svfgs[svfg_key], meter=meter).run()),
+                (label, lambda meter: method(meter=meter)),
                 ("andersen",
                  lambda meter: andersen_as_flow_sensitive(
                      andersen, degraded_from=label)),
@@ -166,20 +173,20 @@ def run_suite_program(name: str, check_equivalence: bool = True,
         return result
 
     def run_sfs_time():
-        sfs_solver_holder["result"] = governed("sfs", SFSAnalysis, "sfs-t")
+        sfs_solver_holder["result"] = governed("sfs")
         return sfs_solver_holder["result"]
 
     def run_vsfs_time():
-        vsfs_solver_holder["result"] = governed("vsfs", VSFSAnalysis, "vsfs-t")
+        vsfs_solver_holder["result"] = governed("vsfs")
         return vsfs_solver_holder["result"]
 
     sfs_measure = measure_analysis(
         "sfs", run_sfs_time,
-        memory_thunk=lambda: governed("sfs", SFSAnalysis, "sfs-m"),
+        memory_thunk=lambda: governed("sfs"),
     )
     vsfs_measure = measure_analysis(
         "vsfs", run_vsfs_time,
-        memory_thunk=lambda: governed("vsfs", VSFSAnalysis, "vsfs-m"),
+        memory_thunk=lambda: governed("vsfs"),
     )
 
     result = SuiteResult(
@@ -195,6 +202,7 @@ def run_suite_program(name: str, check_equivalence: bool = True,
         sfs_pt = sfs_solver_holder["result"]._pt
         vsfs_pt = vsfs_solver_holder["result"]._pt
         result._identical = sfs_pt == vsfs_pt
+    result.stages = pipeline.trace.to_dict()
     return result
 
 

@@ -18,8 +18,12 @@ Crash safety: ``--checkpoint-dir`` snapshots the in-flight solver on a
 cadence (``--checkpoint-every`` pops and/or ``--checkpoint-seconds``) and
 when a budget trips; ``--resume`` picks the work back up bit-identically.
 ``--store`` caches completed results content-addressed by IR hash ×
-analysis × ablation flags.  ``repro-wpa batch ...`` runs a supervised
-multi-program batch (see :mod:`repro.batch`).
+analysis × ablation flags, and additionally caches intermediate stage
+artifacts (``DIR/stages``) so repeat runs skip unchanged substrate.
+``--trace`` prints the per-stage breakdown (wall/steps/cache), with the
+substrate stages marked excluded from the timed main phase.
+``repro-wpa batch ...`` runs a supervised multi-program batch (see
+:mod:`repro.batch`).
 
 Exit codes: 0 success, 1 I/O error, 2 parse/IR error, 3 analysis error
 (including an exhausted budget under ``--no-fallback``, and any rejected
@@ -34,7 +38,7 @@ import tracemalloc
 from typing import List, Optional
 
 from repro.errors import IRError, ParseError, ReproError
-from repro.pipeline import AnalysisPipeline, _load_resume_state, module_from
+from repro.pipeline import AnalysisPipeline, _load_resume_state
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.degrade import solve_with_ladder
@@ -78,6 +82,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="print the run report (attempts, budget "
                              "consumed, degradation)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the per-stage trace (wall/steps/cache "
+                             "per stage; substrate stages are excluded "
+                             "from the main phase)")
     parser.add_argument("--report-json", metavar="FILE",
                         help="write the run report as JSON (atomically)")
     parser.add_argument("--checkpoint-dir", metavar="DIR",
@@ -96,7 +104,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="DIR",
                         help="content-addressed result store: reuse a "
                              "cached result when present, save the result "
-                             "on completion")
+                             "on completion; also enables the stage cache "
+                             "(DIR/stages) so repeat runs skip unchanged "
+                             "substrate stages")
     parser.add_argument("--check-null", action="store_true",
                         help="report dereferences through possibly-null pointers")
     parser.add_argument("--dead-stores", action="store_true",
@@ -162,22 +172,38 @@ def _checkpoint_config(args: argparse.Namespace) -> Optional[CheckpointConfig]:
 
 
 def _run(args: argparse.Namespace, source: str) -> int:
-    module = module_from(source, language="ir" if args.ir else "c")
-    pipeline = AnalysisPipeline(module)
-    delta, ptrepo = not args.no_delta, not args.no_ptrepo
-
-    store = None
+    store = cache = None
     if args.store is not None:
+        import os
+
+        from repro.engine import StageCache
         from repro.store import ResultStore
 
         store = ResultStore(args.store)
+        cache = StageCache(os.path.join(args.store, "stages"))
+    pipeline = AnalysisPipeline.from_source(
+        source, language="ir" if args.ir else "c", cache=cache)
+    module = pipeline.module
+    delta, ptrepo = not args.no_delta, not args.no_ptrepo
+
+    if store is not None:
+        # Build (or stage-cache-load) the substrate first: warm runs then
+        # report a cache hit for every substrate stage even when the final
+        # result also comes straight from the result store.
+        pipeline.engine.prime_substrate(args.analysis)
         cached = store.get(module, args.analysis, delta, ptrepo)
         if cached is not None:
             print(f"repro-wpa: result store hit ({store.last_path})",
                   file=sys.stderr)
+            level = "andersen" if args.analysis == "ander" else args.analysis
+            pipeline.engine.record_external_hit(f"solve:{level}",
+                                                "result-store")
             _print_result(args, cached, run_report=None)
+            if args.trace:
+                print(pipeline.trace.render())
             if args.report_json:
-                _write_report_json(args.report_json, None, store_hit=True)
+                _write_report_json(args.report_json, None, store_hit=True,
+                                   trace=pipeline.trace)
             return _client_flags(args, module, pipeline, cached)
 
     checkpoint = _checkpoint_config(args)
@@ -214,8 +240,11 @@ def _run(args: argparse.Namespace, source: str) -> int:
 
     if args.report:
         print(run_report.render())
+    if args.trace:
+        print(pipeline.trace.render())
     if args.report_json:
-        _write_report_json(args.report_json, run_report)
+        _write_report_json(args.report_json, run_report,
+                           trace=pipeline.trace)
     return _client_flags(args, module, pipeline, result)
 
 
@@ -245,11 +274,13 @@ def _print_result(args: argparse.Namespace, result, run_report) -> None:
               f"call edges: {stats.callgraph_edges}")
 
 
-def _write_report_json(path: str, run_report, store_hit: bool = False) -> None:
+def _write_report_json(path: str, run_report, store_hit: bool = False,
+                       trace=None) -> None:
     from repro.store.atomic import atomic_write_json
 
     payload = {"store_hit": store_hit,
-               "report": run_report.to_dict() if run_report else None}
+               "report": run_report.to_dict() if run_report else None,
+               "stages": trace.to_dict() if trace is not None else None}
     atomic_write_json(path, payload)
 
 

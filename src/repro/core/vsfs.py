@@ -45,9 +45,9 @@ class VSFSAnalysis(StagedSolverBase):
 
     def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
                  delta: bool = True, ptrepo: bool = True, meter=None,
-                 faults=None, checkpointer=None):
+                 faults=None, checkpointer=None, ctx=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults, checkpointer=checkpointer)
+                         faults=faults, checkpointer=checkpointer, ctx=ctx)
         self._given_versioning = versioning
         self.versioning: Optional[ObjectVersioning] = versioning
         # Global points-to table: oid -> version id -> entry (a PTRepo id

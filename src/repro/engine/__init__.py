@@ -1,0 +1,29 @@
+"""The instrumented stage-graph engine behind the analysis flow.
+
+``parse → prepare → andersen → modref → memssa → svfg → versioning →
+solve(sfs|vsfs|icfg-fs|andersen)`` as first-class, fingerprinted,
+cacheable stages executed by :class:`Engine` over one
+:class:`StageContext`.  :class:`~repro.pipeline.AnalysisPipeline` is a
+thin compatibility shim over this package.
+"""
+
+from repro.engine.cache import STAGE_CACHE_SCHEMA, CacheProbe, StageCache
+from repro.engine.context import StageContext
+from repro.engine.engine import Engine
+from repro.engine.events import EventBus, StageEvent, StageRecord, StageTrace
+from repro.engine.stages import SOLVE_LEVELS, Stage, default_stages
+
+__all__ = [
+    "CacheProbe",
+    "Engine",
+    "EventBus",
+    "SOLVE_LEVELS",
+    "STAGE_CACHE_SCHEMA",
+    "Stage",
+    "StageCache",
+    "StageContext",
+    "StageEvent",
+    "StageRecord",
+    "StageTrace",
+    "default_stages",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk cache for intermediate stage artifacts.
+
+Each entry is a sealed JSON document (:mod:`repro.store.atomic`) named by
+the stage's content fingerprint — IR hash × upstream fingerprints ×
+configuration — so an edited program or changed configuration can never
+be served a stale artifact.  Two storage modes:
+
+- ``codec``: the artifact round-trips through an explicit encoder
+  (Andersen results reuse the :mod:`repro.store` result codec); a hit
+  skips the stage entirely.
+- ``replay``: the artifact is rebuilt deterministically from its (cached
+  or memoised) inputs and verified against the recorded digest — used for
+  structures that are cheap to rebuild but expensive to serialise
+  (mod/ref, memory SSA, the SVFG, object versioning).  A digest mismatch
+  means the rebuild is not the artifact the entry promised, which is
+  treated exactly like corruption.
+
+Anything that fails verification is quarantined (``*.quarantined``) and
+raised as a typed :class:`~repro.errors.CheckpointError` — mirroring the
+result store, the cache never silently returns damaged data and a bad
+entry can never be loaded twice.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.store.atomic import quarantine_file, read_sealed_json, write_sealed_json
+
+#: Bumped whenever the stage-entry payload layout changes.
+STAGE_CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheProbe:
+    """Outcome of one cache lookup."""
+
+    mode: str  # "miss" | "codec" | "replay"
+    artifact: Any = None  # decoded artifact (codec hits only)
+    digest: Optional[str] = None  # recorded digest (replay hits only)
+    path: Optional[str] = None
+    nbytes: int = 0
+
+
+class StageCache:
+    """Directory of sealed per-stage artifact entries."""
+
+    KIND = "stage-artifact"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined: List[str] = []
+
+    def entry_path(self, stage_name: str, fingerprint: str) -> str:
+        safe = stage_name.replace(":", "-")
+        return os.path.join(self.directory,
+                            f"stage-{safe}-{fingerprint[:40]}.json")
+
+    # ---------------------------------------------------------------- reading
+
+    def lookup(self, stage: Any, ctx: Any, fingerprint: str) -> CacheProbe:
+        """Probe for *stage*'s entry under *fingerprint*, fully verified.
+
+        Returns a ``miss`` probe when absent.  A present-but-untrustworthy
+        entry (bad checksum, wrong stage/fingerprint/mode, undecodable
+        payload) is quarantined and raised as :class:`CheckpointError`.
+        """
+        path = self.entry_path(stage.name, fingerprint)
+        if not os.path.exists(path):
+            self.misses += 1
+            return CacheProbe("miss")
+        try:
+            meta, payload = read_sealed_json(path, self.KIND,
+                                             STAGE_CACHE_SCHEMA)
+            if (meta.get("stage") != stage.name
+                    or meta.get("fingerprint") != fingerprint):
+                raise CheckpointError(
+                    "entry was recorded for a different stage/fingerprint "
+                    f"({meta.get('stage')!r}, {meta.get('fingerprint')!r})",
+                    reason="config-mismatch", path=path)
+            if meta.get("mode") != stage.cache_mode:
+                raise CheckpointError(
+                    f"entry mode {meta.get('mode')!r} does not match the "
+                    f"stage's cache mode {stage.cache_mode!r}",
+                    reason="config-mismatch", path=path)
+            nbytes = os.path.getsize(path)
+            if stage.cache_mode == "codec":
+                try:
+                    artifact = stage.decode(ctx, payload)
+                except CheckpointError:
+                    raise
+                except (KeyError, ValueError, TypeError, IndexError,
+                        AttributeError) as err:
+                    raise CheckpointError(
+                        f"cached stage artifact does not decode cleanly: "
+                        f"{type(err).__name__}: {err}",
+                        reason="corrupt", path=path) from err
+                self.hits += 1
+                return CacheProbe("codec", artifact=artifact, path=path,
+                                  nbytes=nbytes)
+            digest = payload.get("digest") if isinstance(payload, dict) else None
+            if not isinstance(digest, str):
+                raise CheckpointError(
+                    "replay entry carries no digest", reason="corrupt",
+                    path=path)
+            self.hits += 1
+            return CacheProbe("replay", digest=digest, path=path,
+                              nbytes=nbytes)
+        except CheckpointError as err:
+            quarantined = quarantine_file(path)
+            self.quarantined.append(quarantined)
+            err.path = quarantined
+            raise
+
+    def reject(self, path: Optional[str], message: str) -> CheckpointError:
+        """Quarantine *path* and build the error for the caller to raise.
+
+        Used by the engine when a ``replay`` rebuild does not reproduce
+        the recorded digest — the entry is evidence, never reusable.
+        """
+        if path is not None and os.path.exists(path):
+            quarantined = quarantine_file(path)
+            self.quarantined.append(quarantined)
+            path = quarantined
+        return CheckpointError(message, reason="corrupt", path=path)
+
+    # ---------------------------------------------------------------- writing
+
+    def store(self, stage: Any, ctx: Any, fingerprint: str,
+              artifact: Any) -> Tuple[str, int]:
+        """Persist *artifact* (or its digest) atomically; returns
+        ``(path, bytes_on_disk)``."""
+        path = self.entry_path(stage.name, fingerprint)
+        meta = {
+            "stage": stage.name,
+            "fingerprint": fingerprint,
+            "mode": stage.cache_mode,
+            "ir_hash": ctx.fingerprints.get("prepare"),
+        }
+        if stage.cache_mode == "codec":
+            payload: Any = stage.encode(ctx, artifact)
+        else:
+            payload = {"digest": stage.digest(ctx, artifact)}
+        write_sealed_json(path, self.KIND, STAGE_CACHE_SCHEMA, meta, payload)
+        return path, os.path.getsize(path)

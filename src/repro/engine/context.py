@@ -1,0 +1,53 @@
+"""The single carrier of everything a stage run can depend on.
+
+Before the engine existed, budget meters, fault plans, checkpointers and
+resume state were threaded through every solver constructor as keyword
+arguments.  A :class:`StageContext` replaces that plumbing: stages read
+what they need from the context, and a governed solve gets a per-rung
+copy (:meth:`for_solve`) with its own meter/faults/checkpointer while
+sharing the artifact and fingerprint tables with the base context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.engine.events import EventBus
+
+
+@dataclass
+class StageContext:
+    """Inputs, configuration and governance for one engine run.
+
+    Exactly one of *module* (a prepared :class:`~repro.ir.module.Module`)
+    or *source* (mini-C or textual IR, per *language*) must be provided;
+    the parse/prepare stages turn the latter into the former.
+    """
+
+    # ---- program input ----
+    module: Optional[Any] = None  # pre-built, already-prepared Module
+    source: Optional[str] = None
+    language: str = "c"
+    # ---- solver configuration (ablation flags) ----
+    delta: bool = True
+    ptrepo: bool = True
+    # ---- resource governance (repro.runtime) ----
+    meter: Optional[Any] = None  # BudgetMeter
+    faults: Optional[Any] = None  # FaultPlan
+    checkpointer: Optional[Any] = None  # Checkpointer
+    resume_state: Optional[Any] = None  # checkpoint payload
+    resume_step: int = 0
+    # ---- persistence + instrumentation ----
+    cache: Optional[Any] = None  # StageCache (stage-level artifact cache)
+    bus: EventBus = field(default_factory=EventBus)
+    #: stage name -> built artifact (in-memory memo; shared across rungs).
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: stage name -> content fingerprint (memo; shared across rungs).
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    def for_solve(self, **overrides: Any) -> "StageContext":
+        """A per-rung view: same program, artifacts, cache and bus, with
+        this rung's governance (meter/faults/checkpointer/resume) and
+        ablation flags swapped in."""
+        return replace(self, **overrides)

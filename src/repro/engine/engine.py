@@ -1,0 +1,194 @@
+"""Topological executor for the stage graph.
+
+:meth:`Engine.ensure` builds a substrate stage after its inputs,
+memoising artifacts in the context and consulting the stage cache when
+one is attached; :meth:`Engine.solve` runs one solve rung (the timed
+main phase) under per-rung governance.  Every execution is bracketed by
+events on the context's bus, folded by the engine's
+:class:`~repro.engine.events.StageTrace` into the per-stage breakdown
+reproducing the paper's setup-vs-main-phase split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine.context import StageContext
+from repro.engine.events import StageEvent, StageTrace
+from repro.engine.stages import Stage, default_stages
+from repro.errors import AnalysisError
+
+
+class Engine:
+    """Executes stages over one :class:`StageContext`."""
+
+    def __init__(self, ctx: StageContext,
+                 stages: Optional[Dict[str, Stage]] = None):
+        self.ctx = ctx
+        self.stages = stages if stages is not None else default_stages()
+        self.trace = StageTrace(ctx.bus)
+
+    # ----------------------------------------------------------- fingerprints
+
+    def fingerprint(self, name: str) -> str:
+        """Content fingerprint of *name* under the base context's config.
+
+        Requires the stage's fingerprint inputs to have been ensured
+        (the prepare stage is the content-addressed root and must have
+        run before anything downstream is fingerprinted).
+        """
+        fp = self.ctx.fingerprints.get(name)
+        if fp is None:
+            fp = self._fingerprint_for(self.stages[name], self.ctx)
+            self.ctx.fingerprints[name] = fp
+        return fp
+
+    def _fingerprint_for(self, stage: Stage, ctx: Any) -> str:
+        chained = stage.fingerprint_inputs
+        if chained is None:
+            chained = stage.inputs
+        parts = [stage.name, f"v{stage.version}", stage.config_token(ctx)]
+        parts.extend(self.fingerprint(dep) for dep in chained)
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+    # -------------------------------------------------------------- substrate
+
+    def ensure(self, name: str) -> Any:
+        """Build (or load) the substrate artifact *name*, inputs first."""
+        ctx = self.ctx
+        if name in ctx.artifacts:
+            return ctx.artifacts[name]
+        stage = self.stages.get(name)
+        if stage is None:
+            raise AnalysisError(f"unknown stage {name!r}")
+        for dep in stage.inputs:
+            self.ensure(dep)
+        cacheable = stage.cache_mode is not None and ctx.cache is not None
+        fp = self.fingerprint(name) if cacheable else None
+        ctx.bus.emit(StageEvent("stage_start", name,
+                                main_phase=stage.main_phase, fingerprint=fp))
+        begun = time.perf_counter()
+        cache_label: Optional[str] = None
+        try:
+            artifact: Any = None
+            if cacheable:
+                probe = ctx.cache.lookup(stage, ctx, fp)
+                if probe.mode == "codec":
+                    artifact = probe.artifact
+                    cache_label = "codec"
+                    ctx.bus.emit(StageEvent(
+                        "cache_hit", name, cache="codec",
+                        artifact_bytes=probe.nbytes, fingerprint=fp))
+                elif probe.mode == "replay":
+                    artifact = stage.run(ctx)
+                    if stage.digest(ctx, artifact) != probe.digest:
+                        raise ctx.cache.reject(
+                            probe.path,
+                            f"stage {name!r} rebuild does not match the "
+                            f"entry's recorded digest")
+                    cache_label = "replay"
+                    ctx.bus.emit(StageEvent(
+                        "cache_hit", name, cache="replay",
+                        artifact_bytes=probe.nbytes, fingerprint=fp))
+                else:
+                    cache_label = "miss"
+            if artifact is None:
+                artifact = stage.run(ctx)
+                if cacheable:
+                    __, nbytes = ctx.cache.store(stage, ctx, fp, artifact)
+                    ctx.bus.emit(StageEvent(
+                        "artifact_bytes", name, artifact_bytes=nbytes,
+                        fingerprint=fp))
+        except BaseException as exc:
+            ctx.bus.emit(StageEvent(
+                "stage_end", name, wall_s=time.perf_counter() - begun,
+                main_phase=stage.main_phase, cache=cache_label,
+                fingerprint=fp, outcome=type(exc).__name__))
+            raise
+        ctx.artifacts[name] = artifact
+        if fp is None:
+            fp = self.fingerprint(name)  # content roots hash post-run
+        ctx.bus.emit(StageEvent(
+            "stage_end", name, wall_s=time.perf_counter() - begun,
+            steps=stage.steps(artifact), main_phase=stage.main_phase,
+            cache=cache_label, fingerprint=fp, outcome="ok"))
+        return artifact
+
+    def prime_substrate(self, analysis: str) -> None:
+        """Build everything the paper excludes from *analysis*'s main phase
+        (hits the stage cache on warm runs)."""
+        if analysis in ("sfs", "vsfs"):
+            self.ensure("svfg")
+            if analysis == "vsfs":
+                self.ensure("versioning")
+        else:  # ander / andersen / icfg-fs
+            self.ensure("prepare")
+
+    # ------------------------------------------------------------ main phase
+
+    def solve(self, level: str, delta: Optional[bool] = None,
+              ptrepo: Optional[bool] = None, meter: Any = None,
+              faults: Any = None, checkpointer: Any = None,
+              resume_state: Any = None, resume_step: int = 0) -> Any:
+        """Run one solve rung; substrate is ensured (untimed) first.
+
+        The Andersen level keeps the auxiliary result's memo semantics: a
+        plain call reuses the substrate artifact, a checkpointed/resumed
+        call always runs fresh, and a completed governed run re-seeds the
+        substrate memo (a completed run is a valid auxiliary analysis).
+        """
+        ctx = self.ctx
+        name = f"solve:{level}"
+        stage = self.stages.get(name)
+        if stage is None:
+            raise AnalysisError(f"unknown solve level {level!r}")
+        if level == "andersen":
+            if meter is None and checkpointer is None and resume_state is None:
+                return self.ensure("andersen")
+            if checkpointer is None and resume_state is None \
+                    and "andersen" in ctx.artifacts:
+                return ctx.artifacts["andersen"]
+            self.ensure("prepare")
+        else:
+            # Build the substrate outside the solve's timed window.
+            for dep in stage.inputs:
+                self.ensure(dep)
+        rung = ctx.for_solve(
+            delta=ctx.delta if delta is None else bool(delta),
+            ptrepo=ctx.ptrepo if ptrepo is None else bool(ptrepo),
+            meter=meter, faults=faults, checkpointer=checkpointer,
+            resume_state=resume_state, resume_step=resume_step)
+        fp = self._fingerprint_for(stage, rung)
+        ctx.bus.emit(StageEvent("stage_start", name, main_phase=True,
+                                fingerprint=fp))
+        begun = time.perf_counter()
+        try:
+            result = stage.run(rung)
+        except BaseException as exc:
+            ctx.bus.emit(StageEvent(
+                "stage_end", name, wall_s=time.perf_counter() - begun,
+                main_phase=True, fingerprint=fp,
+                outcome=type(exc).__name__))
+            raise
+        if level == "andersen":
+            ctx.artifacts["andersen"] = result
+        ctx.bus.emit(StageEvent(
+            "stage_end", name, wall_s=time.perf_counter() - begun,
+            steps=stage.steps(result), main_phase=True, fingerprint=fp,
+            outcome="ok"))
+        return result
+
+    # ----------------------------------------------------------- integration
+
+    def record_external_hit(self, stage_name: str, label: str,
+                            nbytes: int = 0) -> None:
+        """Record a cache hit satisfied outside the engine (e.g. the
+        result store short-circuiting a solve) so traces stay complete."""
+        self.ctx.bus.emit(StageEvent("stage_start", stage_name,
+                                     main_phase=True))
+        self.ctx.bus.emit(StageEvent("cache_hit", stage_name, cache=label,
+                                     artifact_bytes=nbytes or None))
+        self.ctx.bus.emit(StageEvent("stage_end", stage_name, wall_s=0.0,
+                                     main_phase=True, outcome="ok"))

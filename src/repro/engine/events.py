@@ -1,0 +1,170 @@
+"""Stage-graph instrumentation: events, the bus, and the trace.
+
+The engine emits one :class:`StageEvent` stream per run —
+``stage_start`` / ``stage_end`` around every stage execution, plus
+``cache_hit`` (the stage was served from the stage cache) and
+``artifact_bytes`` (a fresh artifact was persisted) in between.  A
+:class:`StageTrace` subscriber folds the stream into ordered per-stage
+records carrying wall time, solver steps, cache disposition and the
+substrate-vs-main-phase flag — the breakdown behind ``repro-wpa
+--trace``, the batch driver's stage totals, and the bench runner's JSON
+(the paper's Table III excludes everything with ``main_phase=False``
+from the timed main phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Event kinds, in the order a single stage execution can emit them.
+EVENT_KINDS = ("stage_start", "cache_hit", "artifact_bytes", "stage_end")
+
+#: ``cache`` values that mean "served from a cache" in a trace record.
+CACHE_HIT_LABELS = ("codec", "replay", "result-store")
+
+
+@dataclass
+class StageEvent:
+    """One observation from the engine; see :data:`EVENT_KINDS`."""
+
+    kind: str
+    stage: str
+    wall_s: float = 0.0
+    steps: int = 0
+    #: None (no cache in play), "miss", or a :data:`CACHE_HIT_LABELS` entry.
+    cache: Optional[str] = None
+    artifact_bytes: Optional[int] = None
+    #: True for solve stages (the paper's timed main phase); False for the
+    #: substrate (parse/prepare/andersen/modref/memssa/svfg/versioning).
+    main_phase: bool = False
+    fingerprint: Optional[str] = None
+    #: "ok" or the exception type name that ended the stage.
+    outcome: Optional[str] = None
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`StageEvent`\\ s to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[StageEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[StageEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, event: StageEvent) -> None:
+        for callback in self._subscribers:
+            callback(event)
+
+
+@dataclass
+class StageRecord:
+    """One completed stage execution, folded from its event window."""
+
+    stage: str
+    main_phase: bool = False
+    wall_s: float = 0.0
+    steps: int = 0
+    cache: Optional[str] = None
+    artifact_bytes: Optional[int] = None
+    fingerprint: Optional[str] = None
+    outcome: Optional[str] = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache in CACHE_HIT_LABELS
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "main_phase": self.main_phase,
+            "wall_s": self.wall_s,
+            "steps": self.steps,
+            "cache": self.cache,
+            "cache_hit": self.cache_hit,
+            "artifact_bytes": self.artifact_bytes,
+            "fingerprint": self.fingerprint,
+            "outcome": self.outcome,
+        }
+
+
+class StageTrace:
+    """Event-bus subscriber building the ordered per-stage breakdown."""
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.records: List[StageRecord] = []
+        self._open: Dict[str, StageRecord] = {}
+        if bus is not None:
+            bus.subscribe(self.on_event)
+
+    # -------------------------------------------------------------- folding
+
+    def on_event(self, event: StageEvent) -> None:
+        if event.kind == "stage_start":
+            self._open[event.stage] = StageRecord(
+                stage=event.stage, main_phase=event.main_phase,
+                fingerprint=event.fingerprint)
+            return
+        record = self._open.get(event.stage)
+        if event.kind in ("cache_hit", "artifact_bytes"):
+            if record is not None:
+                if event.cache is not None:
+                    record.cache = event.cache
+                if event.artifact_bytes is not None:
+                    record.artifact_bytes = event.artifact_bytes
+            return
+        if event.kind == "stage_end":
+            record = self._open.pop(event.stage, None)
+            if record is None:  # tolerate an end without a start
+                record = StageRecord(stage=event.stage)
+            record.main_phase = event.main_phase
+            record.wall_s = event.wall_s
+            record.steps = event.steps
+            record.outcome = event.outcome
+            if event.fingerprint is not None:
+                record.fingerprint = event.fingerprint
+            if record.cache is None and event.cache is not None:
+                record.cache = event.cache
+            self.records.append(record)
+
+    # ------------------------------------------------------------ observation
+
+    def substrate_wall(self) -> float:
+        """Total wall clock of non-main-phase stages (paper: excluded)."""
+        return sum(r.wall_s for r in self.records if not r.main_phase)
+
+    def main_phase_wall(self) -> float:
+        return sum(r.wall_s for r in self.records if r.main_phase)
+
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    def record_for(self, stage: str) -> Optional[StageRecord]:
+        """The most recent completed record for *stage* (None if never ran)."""
+        for record in reversed(self.records):
+            if record.stage == stage:
+                return record
+        return None
+
+    def to_dict(self) -> List[Dict[str, object]]:
+        """JSON-ready record list (``--report-json``/bench/batch payloads)."""
+        return [record.to_dict() for record in self.records]
+
+    def render(self) -> str:
+        """Text table for ``repro-wpa --trace``."""
+        lines = ["--- stage trace ---",
+                 f"{'stage':<16} {'phase':<9} {'wall':>9} {'steps':>8} "
+                 f"{'cache':<12} {'bytes':>8} outcome"]
+        for record in self.records:
+            phase = "main" if record.main_phase else "substrate"
+            cache = record.cache or "-"
+            size = str(record.artifact_bytes) if record.artifact_bytes else "-"
+            lines.append(
+                f"{record.stage:<16} {phase:<9} {record.wall_s:>8.4f}s "
+                f"{record.steps:>8} {cache:<12} {size:>8} "
+                f"{record.outcome or '-'}")
+        lines.append(
+            f"substrate: {self.substrate_wall():.4f}s (excluded from main "
+            f"phase); main phase: {self.main_phase_wall():.4f}s; "
+            f"cache hits: {self.cache_hits()}")
+        return "\n".join(lines)

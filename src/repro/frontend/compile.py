@@ -7,7 +7,7 @@ from typing import Optional
 from repro.frontend.cparser import parse_c
 from repro.frontend.lower import ModuleLowering
 from repro.ir.module import Module
-from repro.passes.pipeline import prepare_module
+from repro.passes.prepare import prepare_module
 
 
 def compile_c(

@@ -19,9 +19,10 @@ from repro.passes.mem2reg import promote_allocas
 from repro.passes.singletons import mark_singletons
 from repro.passes.simplify_cfg import remove_unreachable_blocks
 from repro.passes.unify_returns import unify_returns
-from repro.passes.pipeline import prepare_module
+from repro.passes.prepare import PipelineStats, prepare_module
 
 __all__ = [
+    "PipelineStats",
     "CFGInfo",
     "reverse_postorder",
     "DominatorTree",

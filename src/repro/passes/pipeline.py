@@ -1,43 +1,21 @@
-"""The standard pre-analysis pass pipeline.
+"""Deprecated alias of :mod:`repro.passes.prepare`.
 
-Every frontend/tests entry point funnels through :func:`prepare_module` so
-that all analyses see the same canonical form: single FUNEXIT per function,
-partial SSA, singleton flags set, dense ids assigned.
+The pre-analysis pass pipeline moved to ``repro.passes.prepare`` so the
+name no longer clashes with :mod:`repro.pipeline` (the analysis-stage
+pipeline).  Importing this module keeps working but warns; new code
+should import :func:`prepare_module`/:class:`PipelineStats` from
+``repro.passes.prepare`` (or just ``repro.passes``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.ir.module import Module
-from repro.ir.verifier import verify_module
-from repro.passes.mem2reg import promote_allocas
-from repro.passes.simplify_cfg import remove_unreachable_blocks
-from repro.passes.singletons import mark_singletons
-from repro.passes.unify_returns import unify_returns
+from repro.passes.prepare import PipelineStats, prepare_module
 
+warnings.warn(
+    "repro.passes.pipeline is deprecated; import prepare_module from "
+    "repro.passes.prepare (or repro.passes) instead",
+    DeprecationWarning, stacklevel=2)
 
-@dataclass
-class PipelineStats:
-    """What the pipeline did; useful in logs and tests."""
-
-    removed_blocks: int
-    unified_functions: int
-    promoted_allocas: int
-    singleton_objects: int
-
-
-def prepare_module(module: Module, promote: bool = True, verify: bool = True) -> PipelineStats:
-    """Normalise *module* for analysis (idempotent).
-
-    :param promote: run mem2reg (disable to analyse the unpromoted form).
-    :param verify: run the structural verifier after transformation.
-    """
-    removed = remove_unreachable_blocks(module)
-    unified = unify_returns(module)
-    promoted = promote_allocas(module) if promote else 0
-    singletons = mark_singletons(module)
-    module.renumber()
-    if verify:
-        verify_module(module, ssa=promote)
-    return PipelineStats(removed, unified, promoted, singletons)
+__all__ = ["PipelineStats", "prepare_module"]

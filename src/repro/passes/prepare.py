@@ -1,0 +1,46 @@
+"""The standard pre-analysis pass pipeline.
+
+Every frontend/tests entry point funnels through :func:`prepare_module` so
+that all analyses see the same canonical form: single FUNEXIT per function,
+partial SSA, singleton flags set, dense ids assigned.
+
+(Formerly ``repro.passes.pipeline``; renamed to end the clash with
+:mod:`repro.pipeline`, which is the analysis-stage pipeline.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.passes.mem2reg import promote_allocas
+from repro.passes.simplify_cfg import remove_unreachable_blocks
+from repro.passes.singletons import mark_singletons
+from repro.passes.unify_returns import unify_returns
+
+
+@dataclass
+class PipelineStats:
+    """What the pipeline did; useful in logs and tests."""
+
+    removed_blocks: int
+    unified_functions: int
+    promoted_allocas: int
+    singleton_objects: int
+
+
+def prepare_module(module: Module, promote: bool = True, verify: bool = True) -> PipelineStats:
+    """Normalise *module* for analysis (idempotent).
+
+    :param promote: run mem2reg (disable to analyse the unpromoted form).
+    :param verify: run the structural verifier after transformation.
+    """
+    removed = remove_unreachable_blocks(module)
+    unified = unify_returns(module)
+    promoted = promote_allocas(module) if promote else 0
+    singletons = mark_singletons(module)
+    module.renumber()
+    if verify:
+        verify_module(module, ssa=promote)
+    return PipelineStats(removed, unified, promoted, singletons)

@@ -1,32 +1,34 @@
 """One-stop pipeline: source/module in, points-to results out.
 
-:class:`AnalysisPipeline` lazily builds and caches each analysis stage
-(Andersen → mod/ref → memory SSA → SVFG → solvers) so callers can share
-the expensive substrate between SFS and VSFS runs — exactly how the paper
-benchmarks the two (auxiliary analysis and SVFG construction excluded from
-the timed main phase).
+:class:`AnalysisPipeline` is a thin compatibility shim over the
+stage-graph engine (:mod:`repro.engine`): each lazy getter delegates to
+:meth:`Engine.ensure`, each solver entry point to :meth:`Engine.solve`,
+so callers share the expensive substrate between SFS and VSFS runs —
+exactly how the paper benchmarks the two (auxiliary analysis and SVFG
+construction excluded from the timed main phase).  Solvers receive
+*copies* of the shared SVFG (:meth:`SVFG.copy`): on-the-fly call-graph
+resolution mutates the edge structure, and the shared build must stay
+immutable.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.analysis.andersen import AndersenAnalysis, AndersenResult
-from repro.analysis.modref import ModRefInfo, compute_modref
-from repro.core.versioning import ObjectVersioning, version_objects
-from repro.core.vsfs import VSFSAnalysis
+from repro.analysis.andersen import AndersenResult
+from repro.analysis.modref import ModRefInfo
+from repro.core.versioning import ObjectVersioning
+from repro.engine import Engine, StageCache, StageContext, StageTrace
 from repro.errors import AnalysisError, CheckpointError
 from repro.frontend import compile_c
 from repro.ir.module import Module
 from repro.ir.parser import parse_module
-from repro.memssa.builder import MemSSA, build_memssa
-from repro.passes.pipeline import prepare_module
+from repro.memssa.builder import MemSSA
+from repro.passes.prepare import prepare_module
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.degrade import solve_with_ladder
 from repro.solvers.base import FlowSensitiveResult
-from repro.solvers.icfg_fs import ICFGFlowSensitive
-from repro.solvers.sfs import SFSAnalysis
-from repro.svfg.builder import SVFG, build_svfg
+from repro.svfg.builder import SVFG
 
 ANALYSES = ("ander", "sfs", "vsfs", "icfg-fs")
 
@@ -34,79 +36,82 @@ ANALYSES = ("ander", "sfs", "vsfs", "icfg-fs")
 class AnalysisPipeline:
     """Caches each stage; every getter builds its dependencies on demand."""
 
-    def __init__(self, module: Module):
-        self.module = module
-        self._andersen: Optional[AndersenResult] = None
-        self._modref: Optional[ModRefInfo] = None
-        self._memssa: Optional[MemSSA] = None
-        self._svfg: Optional[SVFG] = None
-        self._versioning: Optional[ObjectVersioning] = None
+    def __init__(self, module: Optional[Module] = None,
+                 cache: Optional[StageCache] = None,
+                 source: Optional[str] = None, language: str = "c"):
+        if module is None and source is None:
+            raise AnalysisError(
+                "AnalysisPipeline needs a prepared module or source text")
+        ctx = StageContext(module=module, source=source, language=language,
+                           cache=cache)
+        self.engine = Engine(ctx)
+        self.module: Module = self.engine.ensure("prepare")
+
+    @classmethod
+    def from_source(cls, source: str, language: str = "c",
+                    cache: Optional[StageCache] = None) -> "AnalysisPipeline":
+        """Route parsing/preparation through the engine's own stages."""
+        return cls(source=source, language=language, cache=cache)
+
+    @property
+    def trace(self) -> StageTrace:
+        """Per-stage wall/steps/cache breakdown of everything run so far."""
+        return self.engine.trace
+
+    # -------------------------------------------------------------- substrate
 
     def andersen(self, meter=None, checkpointer=None,
                  resume_state=None, resume_step: int = 0) -> AndersenResult:
-        if checkpointer is None and resume_state is None:
-            if self._andersen is None:
-                self._andersen = AndersenAnalysis(self.module, meter=meter).run()
-            return self._andersen
-        solver = AndersenAnalysis(self.module, meter=meter,
-                                  checkpointer=checkpointer)
-        if resume_state is not None:
-            solver.restore_state(resume_state, resume_step)
-        result = solver.run()
-        self._andersen = result  # a completed run is a valid substrate
-        return result
+        if meter is None and checkpointer is None and resume_state is None:
+            return self.engine.ensure("andersen")
+        return self.engine.solve("andersen", meter=meter,
+                                 checkpointer=checkpointer,
+                                 resume_state=resume_state,
+                                 resume_step=resume_step)
 
     def modref(self) -> ModRefInfo:
-        if self._modref is None:
-            self._modref = compute_modref(self.module, self.andersen())
-        return self._modref
+        return self.engine.ensure("modref")
 
     def memssa(self) -> MemSSA:
-        if self._memssa is None:
-            self._memssa = build_memssa(self.module, self.andersen(), self.modref())
-        return self._memssa
+        return self.engine.ensure("memssa")
 
     def svfg(self) -> SVFG:
-        if self._svfg is None:
-            self._svfg = build_svfg(self.module, self.andersen(), self.memssa())
-        return self._svfg
+        """The shared, immutable SVFG build (never hand this to a solver)."""
+        return self.engine.ensure("svfg")
 
     def fresh_svfg(self) -> SVFG:
-        """An un-shared SVFG (solvers mutate it via OTF edges)."""
-        return build_svfg(self.module, self.andersen(), self.memssa())
+        """An un-shared SVFG copy (solvers mutate it via OTF edges)."""
+        return self.svfg().copy()
 
     def versioning(self) -> ObjectVersioning:
-        if self._versioning is None:
-            self._versioning = version_objects(self.svfg())
-        return self._versioning
+        return self.engine.ensure("versioning")
+
+    # ------------------------------------------------------------- main phase
 
     def sfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
             faults=None, checkpointer=None, resume_state=None,
             resume_step: int = 0) -> FlowSensitiveResult:
-        solver = SFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
-                             meter=meter, faults=faults,
-                             checkpointer=checkpointer)
-        if resume_state is not None:
-            solver.restore_state(resume_state, resume_step)
-        return solver.run()
+        return self.engine.solve("sfs", delta=delta, ptrepo=ptrepo,
+                                 meter=meter, faults=faults,
+                                 checkpointer=checkpointer,
+                                 resume_state=resume_state,
+                                 resume_step=resume_step)
 
     def vsfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
              faults=None, checkpointer=None, resume_state=None,
              resume_step: int = 0) -> FlowSensitiveResult:
-        solver = VSFSAnalysis(self.fresh_svfg(), delta=delta, ptrepo=ptrepo,
-                              meter=meter, faults=faults,
-                              checkpointer=checkpointer)
-        if resume_state is not None:
-            solver.restore_state(resume_state, resume_step)
-        return solver.run()
+        return self.engine.solve("vsfs", delta=delta, ptrepo=ptrepo,
+                                 meter=meter, faults=faults,
+                                 checkpointer=checkpointer,
+                                 resume_state=resume_state,
+                                 resume_step=resume_step)
 
     def icfg_fs(self, meter=None, checkpointer=None, resume_state=None,
                 resume_step: int = 0) -> FlowSensitiveResult:
-        solver = ICFGFlowSensitive(self.module, meter=meter,
-                                   checkpointer=checkpointer)
-        if resume_state is not None:
-            solver.restore_state(resume_state, resume_step)
-        return solver.run()
+        return self.engine.solve("icfg-fs", meter=meter,
+                                 checkpointer=checkpointer,
+                                 resume_state=resume_state,
+                                 resume_step=resume_step)
 
 
 def module_from(source: Union[str, Module], language: str = "c") -> Module:
@@ -153,15 +158,18 @@ def analyze(source: Union[str, Module], analysis: str = "vsfs",
         found" in directory mode simply starts fresh.
     :returns: :class:`AndersenResult` or :class:`FlowSensitiveResult`,
         tagged with ``precision_level`` and a ``report``
-        (:class:`~repro.runtime.diagnostics.RunReport`).  Unbudgeted
-        fault-free runs produce bit-identical points-to results to the
-        ungoverned solvers — and so do resumed runs versus uninterrupted
-        ones.
+        (:class:`~repro.runtime.diagnostics.RunReport`, including the
+        per-stage trace).  Unbudgeted fault-free runs produce
+        bit-identical points-to results to the ungoverned solvers — and
+        so do resumed runs versus uninterrupted ones.
     """
     if analysis not in ANALYSES:
         raise AnalysisError(f"unknown analysis {analysis!r}; choose from {ANALYSES}")
-    module = module_from(source, language)
-    pipeline = AnalysisPipeline(module)
+    if isinstance(source, Module):
+        pipeline = AnalysisPipeline(source)
+    else:
+        pipeline = AnalysisPipeline.from_source(source, language=language)
+    module = pipeline.module
     if isinstance(checkpoint, str):
         checkpoint = CheckpointConfig(checkpoint)
     resume_meta = resume_state = None

@@ -191,6 +191,7 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
             resume_step=resume_step)
 
     def stamp(report: RunReport, failure=None) -> None:
+        report.stage_trace = getattr(pipeline, "trace", None)
         report.resumed = resume_state is not None
         report.resumed_from_step = resume_step if report.resumed else None
         report.resume_count = 1 if report.resumed else 0

@@ -80,6 +80,11 @@ class RunReport:
     checkpoint_saves: int = 0
     checkpoint_time_s: float = 0.0
     checkpoint_path: Optional[str] = None
+    #: Live :class:`~repro.engine.events.StageTrace` of the pipeline that
+    #: produced this run (stamped by the ladder); ``to_dict`` snapshots
+    #: it as the ``stages`` list — substrate entries carry
+    #: ``main_phase: false``, i.e. excluded from the timed main phase.
+    stage_trace: Optional[object] = None
 
     # ------------------------------------------------------------- recording
 
@@ -158,6 +163,8 @@ class RunReport:
             "checkpoint_time_s": self.checkpoint_time_s,
             "checkpoint_path": self.checkpoint_path,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "stages": (self.stage_trace.to_dict()
+                       if self.stage_trace is not None else None),
         }
 
     def render(self) -> str:

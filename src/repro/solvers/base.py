@@ -165,7 +165,14 @@ class StagedSolverBase:
     analysis_name = "base"
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None, checkpointer=None):
+                 meter=None, faults=None, checkpointer=None, ctx=None):
+        if ctx is not None:
+            # Engine path: governance defaults come from the StageContext
+            # instead of per-constructor keyword threading; explicit
+            # keywords still win.
+            meter = ctx.meter if meter is None else meter
+            faults = ctx.faults if faults is None else faults
+            checkpointer = ctx.checkpointer if checkpointer is None else checkpointer
         self.svfg = svfg
         self.module = svfg.module
         self.andersen = svfg.andersen

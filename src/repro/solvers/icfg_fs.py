@@ -51,7 +51,11 @@ class ICFGFlowSensitive:
 
     analysis_name = "icfg-fs"
 
-    def __init__(self, module: Module, meter=None, checkpointer=None):
+    def __init__(self, module: Module, meter=None, checkpointer=None,
+                 ctx=None):
+        if ctx is not None:
+            meter = ctx.meter if meter is None else meter
+            checkpointer = ctx.checkpointer if checkpointer is None else checkpointer
         self.module = module
         self.meter = meter
         self.checkpointer = checkpointer

@@ -36,9 +36,9 @@ class SFSAnalysis(StagedSolverBase):
     analysis_name = "sfs"
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None, checkpointer=None):
+                 meter=None, faults=None, checkpointer=None, ctx=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults, checkpointer=checkpointer)
+                         faults=faults, checkpointer=checkpointer, ctx=ctx)
         # IN/OUT maps, lazily created per node id: {obj id -> entry}, where
         # an entry is a PTRepo id (ptrepo on) or a raw mask (ptrepo off).
         self.in_sets: Dict[int, Dict[int, int]] = {}

@@ -51,6 +51,8 @@ from repro.store.codec import (
 __all__ = [
     "ResultStore",
     "STORE_SCHEMA",
+    "decode_result",
+    "encode_result",
     "atomic_write_json",
     "atomic_write_text",
     "ir_fingerprint",
@@ -63,7 +65,7 @@ STORE_SCHEMA = 1
 
 # -------------------------------------------------------------- result codecs
 
-def _encode_result(result: Union[FlowSensitiveResult, AndersenResult]) -> Dict[str, Any]:
+def encode_result(result: Union[FlowSensitiveResult, AndersenResult]) -> Dict[str, Any]:
     if isinstance(result, FlowSensitiveResult):
         return {
             "result_type": "flow-sensitive",
@@ -88,7 +90,7 @@ def _encode_result(result: Union[FlowSensitiveResult, AndersenResult]) -> Dict[s
         reason="kind")
 
 
-def _decode_result(module: Module, payload: Dict[str, Any]
+def decode_result(module: Module, payload: Dict[str, Any]
                    ) -> Union[FlowSensitiveResult, AndersenResult]:
     result_type = payload["result_type"]
     replay_fields(module, payload["fields"])
@@ -143,7 +145,7 @@ class ResultStore:
             "ptrepo": bool(ptrepo),
         }
         write_sealed_json(path, self.KIND, STORE_SCHEMA, meta,
-                          _encode_result(result))
+                          encode_result(result))
         self.last_path = path
         return path
 
@@ -181,7 +183,7 @@ class ResultStore:
                     f"delta={meta.get('delta')}, ptrepo={meta.get('ptrepo')})",
                     reason="config-mismatch", path=path)
             try:
-                result = _decode_result(module, payload)
+                result = decode_result(module, payload)
             except CheckpointError:
                 raise
             except (KeyError, ValueError, TypeError, IndexError,

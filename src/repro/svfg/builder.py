@@ -148,6 +148,40 @@ class SVFG:
                 touched.append(fout)
         return touched
 
+    # ----------------------------------------------------------------- copy
+
+    def copy(self) -> "SVFG":
+        """A solver-private copy of this graph.
+
+        The immutable build products (nodes, instruction/variable tables,
+        actual/formal tables, δ set) are shared; the edge structure that
+        on-the-fly call-graph resolution grows (`add_direct_edge` /
+        `add_indirect_edge` / `connect_callsite`) is duplicated, so
+        solvers can mutate their copy without poisoning the shared
+        substrate or each other.
+        """
+        dup = SVFG.__new__(SVFG)
+        dup.module = self.module
+        dup.andersen = self.andersen
+        dup.memssa = self.memssa
+        dup.nodes = self.nodes
+        dup.inst_node = self.inst_node
+        dup.actual_in = self.actual_in
+        dup.actual_out = self.actual_out
+        dup.formal_in = self.formal_in
+        dup.formal_out = self.formal_out
+        dup.var_def_node = self.var_def_node
+        dup.var_uses = self.var_uses
+        dup.delta_nodes = self.delta_nodes
+        dup.direct_succs = [list(succs) for succs in self.direct_succs]
+        dup.direct_preds = [list(preds) for preds in self.direct_preds]
+        dup.ind_succs = [{oid: list(dsts) for oid, dsts in table.items()}
+                         for table in self.ind_succs]
+        dup.ind_preds = [list(preds) for preds in self.ind_preds]
+        dup._connected = set(self._connected)
+        dup._edge_set = set(self._edge_set)
+        return dup
+
     # ---------------------------------------------------------------- stats
 
     def stats(self) -> SVFGStats:

@@ -1,0 +1,147 @@
+"""Integration tests: stage-graph engine behind the public pipeline API.
+
+Covers the sharing hazard the engine refactor fixed (solvers used to
+mutate the pipeline's cached SVFG via on-the-fly call graph resolution),
+the trace surfaced through ``analyze``/CLI, and the CLI stage cache.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.pipeline import AnalysisPipeline, analyze
+
+SRC = """
+int *g; int x; int y;
+void set(int *p) { g = p; }
+int main() { set(&x); int *a; a = g; set(&y); return 0; }
+"""
+
+
+class TestSolverIsolation:
+    def test_sfs_then_vsfs_on_one_pipeline_matches_fresh(self):
+        shared = AnalysisPipeline.from_source(SRC)
+        sfs_shared = shared.sfs().snapshot()
+        vsfs_shared = shared.vsfs().snapshot()
+
+        sfs_fresh = AnalysisPipeline.from_source(SRC).sfs().snapshot()
+        vsfs_fresh = AnalysisPipeline.from_source(SRC).vsfs().snapshot()
+
+        assert sfs_shared == sfs_fresh
+        assert vsfs_shared == vsfs_fresh
+
+    def test_order_independence(self):
+        forwards = AnalysisPipeline.from_source(SRC)
+        backwards = AnalysisPipeline.from_source(SRC)
+        vsfs_after_sfs = (forwards.sfs(), forwards.vsfs().snapshot())[1]
+        vsfs_first = backwards.vsfs().snapshot()
+        assert vsfs_after_sfs == vsfs_first
+
+    def test_shared_svfg_not_mutated_by_solves(self):
+        pipeline = AnalysisPipeline.from_source(SRC)
+        svfg = pipeline.svfg()
+        direct = [list(row) for row in svfg.direct_succs]
+        indirect = [dict(row) for row in svfg.ind_succs]
+        pipeline.sfs()
+        pipeline.vsfs()
+        assert [list(row) for row in svfg.direct_succs] == direct
+        assert [dict(row) for row in svfg.ind_succs] == indirect
+
+    def test_repeated_solves_identical(self):
+        pipeline = AnalysisPipeline.from_source(SRC)
+        assert pipeline.vsfs().snapshot() == pipeline.vsfs().snapshot()
+
+    def test_fresh_svfg_shares_nodes_not_edges(self):
+        pipeline = AnalysisPipeline.from_source(SRC)
+        base = pipeline.svfg()
+        copy = pipeline.fresh_svfg()
+        assert copy is not base
+        assert copy.nodes is base.nodes
+        assert copy.direct_succs is not base.direct_succs
+        assert copy._edge_set is not base._edge_set
+
+
+class TestTraceSurfaces:
+    def test_analyze_report_carries_stage_trace(self):
+        result = analyze(SRC, analysis="vsfs")
+        trace = result.report.stage_trace
+        assert trace is not None
+        records = {r.stage: r for r in trace.records}
+        assert records["solve:vsfs"].main_phase
+        assert not records["svfg"].main_phase
+        stages = result.report.to_dict()["stages"]
+        assert any(s["stage"] == "solve:vsfs" and s["main_phase"]
+                   for s in stages)
+
+    def test_pipeline_trace_property(self):
+        pipeline = AnalysisPipeline.from_source(SRC)
+        pipeline.sfs()
+        assert pipeline.trace.main_phase_wall() > 0.0
+        assert pipeline.trace.substrate_wall() > 0.0
+
+
+class TestCLI:
+    @pytest.fixture
+    def c_file(self, tmp_path):
+        path = tmp_path / "prog.c"
+        path.write_text(SRC)
+        return str(path)
+
+    def test_trace_flag_prints_breakdown(self, c_file, capsys):
+        assert cli_main(["-vfspta", c_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "--- stage trace ---" in out
+        assert "excluded from main phase" in out
+        assert "solve:vsfs" in out
+
+    def test_report_json_embeds_stages(self, c_file, tmp_path, capsys):
+        report = str(tmp_path / "report.json")
+        assert cli_main(["-vfspta", c_file, "--report-json", report]) == 0
+        capsys.readouterr()
+        with open(report) as handle:
+            payload = json.load(handle)
+        stages = payload["stages"]
+        assert {s["stage"] for s in stages} >= {"prepare", "andersen",
+                                                "svfg", "solve:vsfs"}
+        assert all(not s["main_phase"] for s in stages
+                   if not s["stage"].startswith("solve:"))
+
+    def test_store_run_twice_hits_stage_cache(self, c_file, tmp_path,
+                                              capsys):
+        store = str(tmp_path / "store")
+        first = str(tmp_path / "first.json")
+        second = str(tmp_path / "second.json")
+        argv = ["-vfspta", c_file, "--store", store, "--dump-pts"]
+        assert cli_main(argv + ["--report-json", first]) == 0
+        cold_out = capsys.readouterr().out
+        assert cli_main(argv + ["--report-json", second]) == 0
+        warm_out = capsys.readouterr().out
+
+        # Identical points-to output either side of the cache.
+        cold_pts = [l for l in cold_out.splitlines() if l.startswith("pt(")]
+        warm_pts = [l for l in warm_out.splitlines() if l.startswith("pt(")]
+        assert cold_pts and cold_pts == warm_pts
+
+        with open(first) as handle:
+            cold_payload = json.load(handle)
+        with open(second) as handle:
+            warm_payload = json.load(handle)
+        assert not cold_payload["store_hit"]
+        assert warm_payload["store_hit"]
+        warm_stages = {s["stage"]: s for s in warm_payload["stages"]}
+        for name in ("andersen", "modref", "memssa", "svfg", "versioning"):
+            assert warm_stages[name]["cache_hit"], name
+        assert warm_stages["solve:vsfs"]["cache"] == "result-store"
+
+
+class TestDeprecatedPassesModule:
+    def test_import_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.passes.pipeline", None)
+        with pytest.warns(DeprecationWarning, match="repro.passes.prepare"):
+            module = importlib.import_module("repro.passes.pipeline")
+        from repro.passes.prepare import prepare_module
+        assert module.prepare_module is prepare_module

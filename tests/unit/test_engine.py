@@ -1,0 +1,193 @@
+"""Unit tests for the stage-graph engine (repro.engine)."""
+
+import pytest
+
+from repro.engine import Engine, SOLVE_LEVELS, StageContext, default_stages
+from repro.errors import AnalysisError, BudgetExceeded
+from repro.frontend import compile_c
+from repro.runtime.budget import Budget
+
+SRC = """
+int *g; int x; int y;
+int main() { g = &x; int *a; a = g; g = &y; return 0; }
+"""
+
+OTHER_SRC = "int *p; int z; int main() { p = &z; return 0; }"
+
+
+def make_engine(source=SRC):
+    ctx = StageContext(module=None, source=source, language="c")
+    return Engine(ctx)
+
+
+class TestEnsure:
+    def test_topological_order(self):
+        engine = make_engine()
+        engine.ensure("svfg")
+        # Every upstream stage materialised exactly once, in the memo.
+        for name in ("parse", "prepare", "andersen", "modref", "memssa",
+                     "svfg"):
+            assert name in engine.ctx.artifacts
+
+    def test_memoised(self):
+        engine = make_engine()
+        first = engine.ensure("svfg")
+        assert engine.ensure("svfg") is first
+        assert engine.ensure("andersen") is engine.ensure("andersen")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown stage"):
+            make_engine().ensure("magic")
+
+    def test_prepared_module_short_circuits_parse(self):
+        module = compile_c(SRC)
+        ctx = StageContext(module=module, source=None)
+        engine = Engine(ctx)
+        assert engine.ensure("prepare") is module
+
+    def test_versioning_built_on_shared_svfg(self):
+        engine = make_engine()
+        versioning = engine.ensure("versioning")
+        assert versioning.svfg is engine.ctx.artifacts["svfg"]
+
+
+class TestFingerprints:
+    def test_deterministic_across_engines(self):
+        one, two = make_engine(), make_engine()
+        one.ensure("svfg")
+        two.ensure("svfg")
+        for name in ("prepare", "andersen", "modref", "memssa", "svfg"):
+            assert one.fingerprint(name) == two.fingerprint(name)
+
+    def test_source_change_changes_every_fingerprint(self):
+        one, two = make_engine(SRC), make_engine(OTHER_SRC)
+        one.ensure("svfg")
+        two.ensure("svfg")
+        for name in ("prepare", "andersen", "modref", "memssa", "svfg"):
+            assert one.fingerprint(name) != two.fingerprint(name)
+
+    def test_solve_fingerprint_varies_with_ablation_flags(self):
+        engine = make_engine()
+        engine.ensure("svfg")
+        stage = engine.stages["solve:vsfs"]
+        base = engine._fingerprint_for(stage, engine.ctx)
+        ablated = engine._fingerprint_for(
+            stage, engine.ctx.for_solve(delta=False))
+        assert base != ablated
+
+    def test_substrate_fingerprint_ignores_ablation_flags(self):
+        with_delta = make_engine()
+        without = Engine(StageContext(module=None, source=SRC,
+                                      language="c", delta=False))
+        with_delta.ensure("svfg")
+        without.ensure("svfg")
+        assert with_delta.fingerprint("svfg") == without.fingerprint("svfg")
+
+
+class TestSolve:
+    def test_all_levels_produce_results(self):
+        engine = make_engine()
+        for level in SOLVE_LEVELS:
+            assert engine.solve(level) is not None
+
+    def test_andersen_plain_call_memoises(self):
+        engine = make_engine()
+        assert engine.solve("andersen") is engine.ensure("andersen")
+
+    def test_andersen_meter_reuses_memo(self):
+        engine = make_engine()
+        memo = engine.ensure("andersen")
+        meter = Budget(wall_seconds=60.0).meter()
+        meter.start()
+        try:
+            assert engine.solve("andersen", meter=meter) is memo
+        finally:
+            meter.stop()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown solve level"):
+            make_engine().solve("magic")
+
+    def test_meter_threads_through_to_solver(self):
+        engine = make_engine()
+        engine.ensure("svfg")  # substrate outside the governed window
+        meter = Budget(max_steps=1).meter()
+        meter.start()
+        try:
+            with pytest.raises(BudgetExceeded):
+                engine.solve("vsfs", meter=meter)
+        finally:
+            meter.stop()
+
+    def test_governed_solve_matches_ungoverned(self):
+        governed_engine = make_engine()
+        meter = Budget(wall_seconds=300.0).meter()
+        meter.start()
+        try:
+            governed = governed_engine.solve("vsfs", meter=meter)
+        finally:
+            meter.stop()
+        assert governed.snapshot() == make_engine().solve("vsfs").snapshot()
+
+
+class TestTrace:
+    def test_main_phase_split(self):
+        engine = make_engine()
+        engine.solve("vsfs")
+        records = {rec.stage: rec for rec in engine.trace.records}
+        assert records["solve:vsfs"].main_phase
+        for name in ("parse", "prepare", "andersen", "modref", "memssa",
+                     "svfg"):
+            assert not records[name].main_phase
+
+    def test_substrate_excluded_from_main_phase_wall(self):
+        engine = make_engine()
+        engine.solve("sfs")
+        trace = engine.trace
+        total = sum(rec.wall_s for rec in trace.records)
+        assert trace.substrate_wall() + trace.main_phase_wall() == \
+            pytest.approx(total)
+
+    def test_render_mentions_exclusion(self):
+        engine = make_engine()
+        engine.solve("sfs")
+        assert "excluded from main phase" in engine.trace.render()
+
+    def test_to_dict_schema(self):
+        engine = make_engine()
+        engine.solve("sfs")
+        for record in engine.trace.to_dict():
+            assert set(record) >= {"stage", "main_phase", "wall_s", "steps",
+                                   "cache", "cache_hit", "fingerprint"}
+
+    def test_external_hit_recorded(self):
+        engine = make_engine()
+        engine.record_external_hit("solve:vsfs", "result-store", nbytes=7)
+        record = engine.trace.record_for("solve:vsfs")
+        assert record.cache == "result-store"
+        assert record.cache_hit
+        assert record.main_phase
+
+    def test_failed_stage_records_outcome(self):
+        engine = make_engine()
+        engine.ensure("svfg")
+        meter = Budget(max_steps=1).meter()
+        meter.start()
+        try:
+            with pytest.raises(BudgetExceeded):
+                engine.solve("sfs", meter=meter)
+        finally:
+            meter.stop()
+        record = engine.trace.record_for("solve:sfs")
+        assert record.outcome == "BudgetExceeded"
+
+
+class TestRegistry:
+    def test_default_stages_cover_every_solve_level(self):
+        stages = default_stages()
+        for level in SOLVE_LEVELS:
+            assert f"solve:{level}" in stages
+
+    def test_solve_stages_are_main_phase(self):
+        for name, stage in default_stages().items():
+            assert stage.main_phase == name.startswith("solve:")
