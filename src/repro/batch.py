@@ -75,6 +75,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(default 0.5s)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="programs analysed concurrently (default 1)")
+    parser.add_argument("--solve-jobs", type=int, default=1, metavar="N",
+                        help="sharded workers per solve (repro-wpa --jobs); "
+                             "resume-on-retry attempts drop to serial, as "
+                             "checkpoints are serial-only")
     parser.add_argument("--checkpoint-dir", metavar="DIR",
                         help="checkpoint root; each program gets its own "
                              "subdirectory, enabling resume-on-retry")
@@ -125,6 +129,8 @@ def _attempt_cmd(args: argparse.Namespace, file: str, ckdir: Optional[str],
         cmd += ["--budget-mb", str(args.budget_mb)]
     if args.max_steps is not None:
         cmd += ["--max-steps", str(args.max_steps)]
+    if args.solve_jobs > 1 and args.analysis in ("sfs", "vsfs") and not resume:
+        cmd += ["--jobs", str(args.solve_jobs)]
     if ckdir is not None:
         cmd += ["--checkpoint-dir", ckdir,
                 "--checkpoint-every", str(args.checkpoint_every)]
@@ -215,11 +221,14 @@ def _stage_totals(records: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
             if not isinstance(name, str):
                 continue
             entry = totals.setdefault(name, {
-                "runs": 0, "wall_seconds": 0.0, "cache_hits": 0,
+                "runs": 0, "wall_seconds": 0.0, "steps": 0, "cache_hits": 0,
                 "main_phase": bool(stage.get("main_phase")),
             })
             entry["runs"] += 1
             entry["wall_seconds"] += float(stage.get("wall_s") or 0.0)
+            # Trace steps are per attempt (resumed solves report only their
+            # own pops), so summing across retries never double-counts.
+            entry["steps"] += int(stage.get("steps") or 0)
             if stage.get("cache_hit"):
                 entry["cache_hits"] += 1
     for entry in totals.values():
@@ -240,6 +249,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     failed = [r for r in records if r["status"] != "ok"]
     summary = {
         "analysis": args.analysis,
+        "solve_jobs": args.solve_jobs,
         "programs": len(records),
         "ok": len(records) - len(failed),
         "failed": len(failed),

@@ -107,6 +107,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "on completion; also enables the stage cache "
                              "(DIR/stages) so repeat runs skip unchanged "
                              "substrate stages")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="solve -fspta/-vfspta on N sharded workers "
+                             "(repro.parallel); results are bit-identical "
+                             "to the serial solve")
+    parser.add_argument("--parallel-mode", choices=("fork", "inline"),
+                        help="parallel transport override (default: fork "
+                             "when available on a multicore host, else "
+                             "in-process workers)")
     parser.add_argument("--check-null", action="store_true",
                         help="report dereferences through possibly-null pointers")
     parser.add_argument("--dead-stores", action="store_true",
@@ -186,6 +194,24 @@ def _run(args: argparse.Namespace, source: str) -> int:
     module = pipeline.module
     delta, ptrepo = not args.no_delta, not args.no_ptrepo
 
+    # --jobs routes the staged analyses through the sharded parallel
+    # stages.  The result store stays keyed by the serial analysis name:
+    # the parallel solve is bit-identical, so serial and parallel runs
+    # share cache entries.
+    jobs = max(1, args.jobs)
+    ladder_analysis = args.analysis
+    if jobs > 1:
+        if args.analysis not in ("sfs", "vsfs"):
+            print("repro-wpa: warning: --jobs applies to -fspta/-vfspta "
+                  "only; running serially", file=sys.stderr)
+            jobs = 1
+        elif args.resume is not None:
+            print("repro-wpa: warning: --resume is serial-only; ignoring "
+                  "--jobs", file=sys.stderr)
+            jobs = 1
+        else:
+            ladder_analysis = args.analysis + "-par"
+
     if store is not None:
         # Build (or stage-cache-load) the substrate first: warm runs then
         # report a cache hit for every substrate stage even when the final
@@ -215,7 +241,7 @@ def _run(args: argparse.Namespace, source: str) -> int:
     tracemalloc.start()
     result = solve_with_ladder(
         pipeline,
-        analysis=args.analysis,
+        analysis=ladder_analysis,
         budget=_budget_from(args),
         fallback=not args.no_fallback,
         delta=delta,
@@ -223,6 +249,8 @@ def _run(args: argparse.Namespace, source: str) -> int:
         checkpoint=checkpoint,
         resume_state=resume_state,
         resume_meta=resume_meta,
+        jobs=jobs,
+        parallel_mode=args.parallel_mode,
     )
     run_report = result.report
     if run_report.degraded:
@@ -272,6 +300,16 @@ def _print_result(args: argparse.Namespace, result, run_report) -> None:
               f"stored points-to sets: {stats.stored_ptsets}")
         print(f"[{label}] strong updates: {stats.strong_updates}, "
               f"call edges: {stats.callgraph_edges}")
+        parallel = getattr(result, "parallel", None)
+        if parallel is not None:
+            per_worker = ", ".join(
+                f"w{w['worker']}: {w['pops']} pops/{w['solve_s']:.3f}s"
+                for w in parallel.workers)
+            print(f"[{label}] parallel: {parallel.jobs} workers "
+                  f"({parallel.mode}), {parallel.shards} shards over "
+                  f"{parallel.components} SCCs, {parallel.rounds} rounds, "
+                  f"{parallel.frontier_entries} frontier entries")
+            print(f"[{label}] per-worker: {per_worker}")
 
 
 def _write_report_json(path: str, run_report, store_hit: bool = False,

@@ -201,6 +201,8 @@ class VSFSAnalysis(StagedSolverBase):
             for oid, delta in dirty.items():
                 if oid == su_oid:
                     continue  # killed: the consumed set does not survive
+                if self.defers_passthrough(ptr_mask, oid):
+                    continue  # deferred until pt(ptr) resolves (full revisit)
                 y_ver = yielded.get(oid)
                 if y_ver is None:
                     continue
@@ -223,6 +225,8 @@ class VSFSAnalysis(StagedSolverBase):
             elif ptr_mask >> oid & 1:
                 out = incoming | gen
                 self.stats.weak_updates += 1
+            elif self.defers_passthrough(ptr_mask, oid):
+                continue  # deferred until pt(ptr) resolves (full revisit)
             else:
                 out = incoming  # pass-through (χ over-approximation)
             self._ptv_join(oid, y_ver, out)

@@ -153,6 +153,32 @@ def strongly_connected_components(graph: DiGraph[N]) -> List[List[N]]:
     return components
 
 
+def condensation(graph: DiGraph[N]) -> Tuple[Dict[N, int], List[List[N]], "DiGraph[int]"]:
+    """SCC-condense *graph* into its component DAG.
+
+    Returns ``(component_of, components, dag)`` where ``components`` lists
+    every SCC exactly once in **topological order** (every edge of ``dag``
+    goes from a lower component index to a higher one), ``component_of``
+    maps each node to its component's index, and ``dag`` has one node per
+    component and the collapsed inter-component edges (self-loops dropped).
+    Every node of *graph* appears in exactly one component.
+    """
+    sccs = strongly_connected_components(graph)
+    sccs.reverse()  # Tarjan yields callee-first; topological = reverse
+    component_of: Dict[N, int] = {}
+    for cid, members in enumerate(sccs):
+        for node in members:
+            component_of[node] = cid
+    dag: DiGraph[int] = DiGraph()
+    for cid in range(len(sccs)):
+        dag.add_node(cid)
+    for src, dst in graph.edges():
+        a, b = component_of[src], component_of[dst]
+        if a != b:
+            dag.add_edge(a, b)
+    return component_of, sccs, dag
+
+
 def topological_order(graph: DiGraph[N]) -> List[N]:
     """Topological order of an acyclic graph (Kahn's algorithm).
 

@@ -122,6 +122,52 @@ class PTRepo:
             repo._masks.append(mask)
         return repo
 
+    # ----------------------------------------------------- id-delta wire codec
+
+    def export_ids(self, watermark: int) -> Tuple[List[str], int]:
+        """The interning-table rows appended since *watermark*, plus the new
+        watermark.
+
+        This is the parallel frontier's **delta table**: because ids are
+        dense and append-only, a sender that remembers how far it has
+        already shipped its table needs to transmit only the suffix — each
+        distinct points-to set crosses the wire exactly once, ever, no
+        matter how many frontier entries reference it (they carry bare
+        integer ids).
+        """
+        rows = [format(mask, "x") for mask in self._masks[watermark:]]
+        return rows, len(self._masks)
+
+    def import_ids(self, rows: List[str], watermark: int) -> int:
+        """Append a peer's :meth:`export_ids` *rows* to a mirror table.
+
+        The mirror is *positional*: row ``i`` of the peer's table denotes
+        the same set as local index ``i`` — callers keep one importer repo
+        per peer and resolve the peer's wire ids through :meth:`mask`.
+        Raises ``ValueError`` on a gap or overlap, which would silently
+        misalign every subsequent id.
+        """
+        if watermark != len(self._masks):
+            raise ValueError(
+                f"id-delta stream out of sync: expected watermark "
+                f"{len(self._masks)}, got {watermark}")
+        for text in rows:
+            mask = int(text, 16)
+            # Mirror tables replicate the peer's table positionally; the
+            # peer never interns a duplicate, so neither do we — but a
+            # corrupted stream could, and must not silently alias ids.
+            if mask in self._ids and self._ids[mask] != len(self._masks):
+                raise ValueError(f"duplicate mask {text!r} in id-delta stream")
+            self._ids[mask] = len(self._masks)
+            self._masks.append(mask)
+        return len(self._masks)
+
+    @property
+    def size(self) -> int:
+        """Number of table rows including the empty set (the watermark
+        domain of :meth:`export_ids`/:meth:`import_ids`)."""
+        return len(self._masks)
+
     # ----------------------------------------------------------------- stats
 
     @property

@@ -32,6 +32,11 @@ class StageContext:
     # ---- solver configuration (ablation flags) ----
     delta: bool = True
     ptrepo: bool = True
+    # ---- parallel solving (repro.parallel) ----
+    #: Worker count for the solve:*-par stages (1 = serial stages only).
+    jobs: int = 1
+    #: Transport override for parallel stages ("fork"/"inline"; None = auto).
+    parallel_mode: Optional[str] = None
     # ---- resource governance (repro.runtime) ----
     meter: Optional[Any] = None  # BudgetMeter
     faults: Optional[Any] = None  # FaultPlan

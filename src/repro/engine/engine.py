@@ -119,6 +119,8 @@ class Engine:
     def prime_substrate(self, analysis: str) -> None:
         """Build everything the paper excludes from *analysis*'s main phase
         (hits the stage cache on warm runs)."""
+        if analysis.endswith("-par"):
+            analysis = analysis[: -len("-par")]
         if analysis in ("sfs", "vsfs"):
             self.ensure("svfg")
             if analysis == "vsfs":
@@ -131,7 +133,9 @@ class Engine:
     def solve(self, level: str, delta: Optional[bool] = None,
               ptrepo: Optional[bool] = None, meter: Any = None,
               faults: Any = None, checkpointer: Any = None,
-              resume_state: Any = None, resume_step: int = 0) -> Any:
+              resume_state: Any = None, resume_step: int = 0,
+              jobs: Optional[int] = None,
+              parallel_mode: Optional[str] = None) -> Any:
         """Run one solve rung; substrate is ensured (untimed) first.
 
         The Andersen level keeps the auxiliary result's memo semantics: a
@@ -158,6 +162,9 @@ class Engine:
         rung = ctx.for_solve(
             delta=ctx.delta if delta is None else bool(delta),
             ptrepo=ctx.ptrepo if ptrepo is None else bool(ptrepo),
+            jobs=ctx.jobs if jobs is None else max(1, int(jobs)),
+            parallel_mode=(ctx.parallel_mode if parallel_mode is None
+                           else parallel_mode),
             meter=meter, faults=faults, checkpointer=checkpointer,
             resume_state=resume_state, resume_step=resume_step)
         fp = self._fingerprint_for(stage, rung)

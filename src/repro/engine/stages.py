@@ -321,13 +321,64 @@ class SolveStage(Stage):
         raise AnalysisError(f"unknown solve level {self.level!r}")
 
     def steps(self, artifact: Any) -> int:
+        # Per-execution work only: a resumed solve's nodes_processed is
+        # cumulative across attempts, and trace records are per attempt —
+        # reporting the cumulative figure would double-count every
+        # pre-crash pop when traces are summed (batch stage totals).
         stats = artifact.stats
-        return getattr(stats, "nodes_processed", None) \
+        processed = getattr(stats, "nodes_processed", None) \
             or getattr(stats, "processed_nodes", 0)
+        return processed - getattr(stats, "resumed_steps", 0)
+
+
+class ParallelSolveStage(SolveStage):
+    """Sharded multiprocessing solve (:mod:`repro.parallel`).
+
+    ``solve:sfs-par`` / ``solve:vsfs-par`` run the corresponding staged
+    kernel on ``ctx.jobs`` workers over an SCC-condensed partition of the
+    SVFG.  The result is bit-identical to the serial rung's (the solvers
+    are confluent; DESIGN.md §10), so the worker count is a *run*
+    configuration, not an analysis change — which is why these stages
+    share the serial rung's result identity and only the trace and the
+    attached ``result.parallel`` stats differ.
+    """
+
+    def __init__(self, level: str):
+        self.level = level
+        self.base_level = level[: -len("-par")]
+        self.name = f"solve:{level}"
+        self.inputs = ("svfg",)
+
+    def config_token(self, ctx: Any) -> str:
+        return (f"delta={ctx.delta},ptrepo={ctx.ptrepo},"
+                f"jobs={ctx.jobs},mode={ctx.parallel_mode}")
+
+    def run(self, ctx: Any) -> Any:
+        from repro.parallel.driver import solve_parallel
+
+        if ctx.resume_state is not None:
+            raise AnalysisError(
+                "parallel solve stages cannot resume a serial checkpoint; "
+                "rerun serially (--jobs 1) to resume")
+        budget = ctx.meter.budget if ctx.meter is not None else None
+        result = solve_parallel(
+            ctx.artifacts["svfg"], self.base_level, ctx.jobs,
+            delta=ctx.delta, ptrepo=ctx.ptrepo, budget=budget,
+            faults=ctx.faults, versioning=ctx.artifacts.get("versioning"),
+            mode=ctx.parallel_mode)
+        if ctx.meter is not None:
+            # The workers metered themselves (per-worker budgets); reflect
+            # their pops into the governing meter so ladder reports and
+            # stage step totals add up.
+            ctx.meter.steps += result.stats.nodes_processed
+        return result
 
 
 #: Solve levels the engine can run (= degradation-ladder rungs).
 SOLVE_LEVELS = ("andersen", "sfs", "vsfs", "icfg-fs")
+
+#: Parallel variants of the staged solvers (result-identical to serial).
+PARALLEL_SOLVE_LEVELS = ("sfs-par", "vsfs-par")
 
 
 def default_stages() -> Dict[str, Stage]:
@@ -339,5 +390,8 @@ def default_stages() -> Dict[str, Stage]:
         stages[stage.name] = stage
     for level in SOLVE_LEVELS:
         solve = SolveStage(level)
+        stages[solve.name] = solve
+    for level in PARALLEL_SOLVE_LEVELS:
+        solve = ParallelSolveStage(level)
         stages[solve.name] = solve
     return stages

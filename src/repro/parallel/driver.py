@@ -1,0 +1,321 @@
+"""The parallel driver: staged rounds of sharded solving to one fixpoint.
+
+The driver owns the round loop.  Each round it delivers the frontier
+batches queued for every *active* worker, lets each drain its owned
+region to local quiescence, and routes the resulting outboxes to the
+other workers' queues; the solve is globally done when every worker is
+active, every queue is empty, and the last round produced no output.
+
+Workers are **activated in topological stagger**: worker ``w`` (owning
+the ``w``-th contiguous topological segment of the SCC condensation)
+first runs in round ``w``.  Cross-worker value flow is predominantly
+forward (the partition orders workers along the condensation), so by
+the time a downstream worker first drains, its upstream inputs are at —
+or near — their final values and it processes them once instead of
+re-propagating every partial result.  That work reduction, not raw
+concurrency, is what makes the staged sweep faster than a serial solve
+even on a single core; on many cores the fork workers overlap on top of
+it.  Correctness never depends on the stagger: the solvers are confluent
+(DESIGN.md §10), so any delivery order reaches the identical least
+fixpoint, bit for bit.
+
+Straggler handling: the driver can seal each worker's state at round
+boundaries (``seal_every``); if a worker dies — or is killed by the
+``kill_after_round`` fault hook — it is revived from its last seal (or
+from scratch) with every batch delivered since then re-delivered.
+Re-application is idempotent (joins are monotone) and the revived
+worker's fresh wire repo is announced by an incarnation bump, so peers
+reset their mirrors instead of resolving against a dead table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.callgraph import CallGraph
+from repro.datastructs.bitset import count_bits
+from repro.errors import AnalysisError, SolverError
+from repro.parallel.partition import Partition, partition_svfg
+from repro.parallel.worker import (
+    SHARDED_SOLVERS,
+    ForkedWorker,
+    InlineWorker,
+    WorkerSpec,
+    raise_failure,
+)
+from repro.solvers.base import FlowSensitiveResult, SolverStats
+from repro.store.codec import call_sites_by_id, resolve_call_edge
+
+
+@dataclass
+class ParallelStats:
+    """What the parallel run did, for reports and bench JSON."""
+
+    jobs: int
+    mode: str  # "fork" or "inline"
+    shards: int
+    components: int
+    rounds: int = 0
+    revivals: int = 0
+    frontier_batches: int = 0
+    frontier_entries: int = 0
+    frontier_table_rows: int = 0
+    wall_s: float = 0.0
+    #: Per-worker summary: owned nodes, pops, solve seconds, incarnation.
+    workers: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "shards": self.shards,
+            "components": self.components,
+            "rounds": self.rounds,
+            "revivals": self.revivals,
+            "frontier_batches": self.frontier_batches,
+            "frontier_entries": self.frontier_entries,
+            "frontier_table_rows": self.frontier_table_rows,
+            "wall_s": round(self.wall_s, 6),
+            "workers": self.workers,
+        }
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _make_worker(spec: WorkerSpec, mode: str, mp_ctx):
+    if mode == "fork":
+        return ForkedWorker(spec, mp_ctx)
+    return InlineWorker(spec)
+
+
+def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
+                   delta: bool = True, ptrepo: bool = True,
+                   budget=None, faults=None, versioning=None,
+                   shards_per_worker: int = 4, mode: Optional[str] = None,
+                   seal_every: int = 0, kill_after_round: Optional[int] = None,
+                   kill_worker: int = 0) -> FlowSensitiveResult:
+    """Solve *svfg* at *level* ("sfs" or "vsfs") on *jobs* sharded workers.
+
+    Returns a :class:`FlowSensitiveResult` bit-identical to the serial
+    solver's, with a :class:`ParallelStats` attached as ``.parallel``.
+
+    ``budget``/``faults`` are applied **per worker** (each worker runs
+    its own meter over the same limits).  ``mode`` forces the transport
+    ("fork"/"inline"; default auto).  ``seal_every`` is the round cadence
+    of kill-and-resume seals (0 disables sealing; revival then replays
+    from scratch).  ``kill_after_round`` hard-kills ``kill_worker`` once
+    after that many completed rounds — the straggler-recovery fault hook
+    the integration tests drive.
+    """
+    begun = time.perf_counter()
+    if level not in SHARDED_SOLVERS:
+        raise AnalysisError(
+            f"parallel solving supports {sorted(SHARDED_SOLVERS)}, "
+            f"not {level!r}")
+    partition = partition_svfg(svfg, jobs, shards_per_worker)
+    jobs = partition.num_workers
+    module = svfg.module
+
+    pre_wall = 0.0
+    ver_snapshot = None
+    if level == "vsfs":
+        # Meld versioning is computed once here and restored per worker —
+        # the pre-analysis is deterministic, so sharing it is free, and
+        # recomputing it per worker would multiply its cost by ``jobs``.
+        t0 = time.perf_counter()
+        if versioning is None:
+            from repro.core.versioning import version_objects
+
+            versioning = version_objects(svfg)
+        ver_snapshot = versioning.snapshot()
+        pre_wall = time.perf_counter() - t0
+
+    if mode is None:
+        # Fork buys true overlap only with >1 CPU; on a single core the
+        # stagger's work reduction is the entire win and the in-process
+        # transport avoids fork's copy-on-write page churn.
+        multicore = (os.cpu_count() or 1) > 1
+        mode = "fork" if fork_available() and multicore else "inline"
+    mp_ctx = multiprocessing.get_context("fork") if mode == "fork" else None
+
+    specs = [
+        WorkerSpec(worker_id=w, level=level, svfg=svfg, partition=partition,
+                   delta=delta, ptrepo=ptrepo,
+                   versioning_snapshot=ver_snapshot, budget=budget,
+                   faults=faults, share_svfg=(mode == "fork"))
+        for w in range(jobs)
+    ]
+    workers = [_make_worker(spec, mode, mp_ctx) for spec in specs]
+    pending: List[List[Any]] = [[] for _ in range(jobs)]  # undelivered batches
+    retained: List[List[Any]] = [[] for _ in range(jobs)]  # since last seal
+    seals: List[Optional[Dict[str, Any]]] = [None] * jobs
+    pstats = ParallelStats(jobs=jobs, mode=mode,
+                           shards=len(partition.shards),
+                           components=partition.num_components)
+
+    def abort() -> None:
+        for worker in workers:
+            try:
+                worker.kill()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+    def fail(kind: str, info: Dict[str, Any]) -> None:
+        abort()
+        raise_failure(kind, info, stage=level)
+
+    def revive(w: int) -> None:
+        specs[w] = replace(specs[w], incarnation=specs[w].incarnation + 1,
+                           restore=seals[w])
+        workers[w] = _make_worker(specs[w], mode, mp_ctx)
+        # Re-deliver everything the dead worker saw after its seal; the
+        # joins are idempotent, and the mirrors inside the seal line up
+        # with each batch's table watermarks.
+        pending[w] = retained[w] + pending[w]
+        retained[w] = []
+        pstats.revivals += 1
+
+    killed = False
+    fresh: set = set()  # revived workers that must drain before we stop
+    round_idx = 0
+    while True:
+        run_set = [w for w in range(jobs) if w <= round_idx]
+        for w in run_set:
+            inbox, pending[w] = pending[w], []
+            retained[w].extend(inbox)
+            workers[w].request(("round", inbox))
+        dead: List[int] = []
+        replies: Dict[int, Any] = {}
+        for w in run_set:
+            reply = workers[w].reply()
+            if reply is None:
+                dead.append(w)
+                continue
+            if reply[0] != "ok":
+                fail(reply[0], reply[1])
+            replies[w] = reply
+            fresh.discard(w)
+        pstats.rounds += 1
+
+        for w, reply in replies.items():
+            batch = reply[1]
+            if batch.is_empty():
+                continue
+            pstats.frontier_batches += 1
+            pstats.frontier_entries += batch.payload_entries()
+            pstats.frontier_table_rows += len(batch.table)
+            for peer in range(jobs):
+                if peer != w:
+                    pending[peer].append(batch)
+
+        if seal_every and pstats.rounds % seal_every == 0:
+            for w in replies:
+                workers[w].request(("seal",))
+            for w in replies:
+                reply = workers[w].reply()
+                if reply is None:
+                    dead.append(w)
+                    continue
+                if reply[0] != "seal":
+                    fail(reply[0], reply[1])
+                seals[w] = reply[1]
+                retained[w] = []
+
+        if (kill_after_round is not None and not killed
+                and pstats.rounds >= kill_after_round):
+            killed = True
+            workers[kill_worker].kill()
+            if kill_worker not in dead:
+                dead.append(kill_worker)
+
+        for w in sorted(set(dead)):
+            revive(w)
+            fresh.add(w)
+
+        all_active = round_idx >= jobs - 1
+        if all_active and not fresh and not any(pending):
+            break
+        round_idx += 1
+
+    for worker in workers:
+        worker.request(("finish",))
+    payloads: List[Dict[str, Any]] = []
+    for w, worker in enumerate(workers):
+        reply = worker.reply()
+        if reply is None:
+            abort()
+            raise SolverError(
+                f"parallel worker {w} died while finalizing its shard")
+        if reply[0] != "result":
+            fail(reply[0], reply[1])
+        payloads.append(reply[1])
+    for worker in workers:
+        worker.stop()
+
+    # ------------------------------------------------------------- merge
+    # Var broadcasts make every worker converge on the same top-level
+    # table, so the OR below is expected to be a no-op past worker 0 —
+    # but OR is what the shard merge *means*, so compute it that way.
+    pt = [0] * len(module.variables)
+    for payload in payloads:
+        for vid, text in enumerate(payload["pt"]):
+            pt[vid] |= int(text, 16)
+
+    # Deterministic global call graph: the union of the workers' edge
+    # sets, replayed in sorted order (they converge to the same set; the
+    # union is, again, what the merge means).
+    edges = sorted({(inst_id, name)
+                    for payload in payloads
+                    for inst_id, name in payload["call_edges"]})
+    callgraph = CallGraph(module)
+    sites = call_sites_by_id(module)
+    for inst_id, name in edges:
+        call, callee = resolve_call_edge(module, sites, inst_id, name)
+        callgraph.add_edge(call, callee)
+
+    parts = [SolverStats(**payload["stats"]) for payload in payloads]
+    stats = SolverStats.merge(parts)
+    stats.analysis = level
+    # One logical execution: revived workers' sealed pops were performed
+    # by this run's dead incarnations, not by a previous run.
+    stats.resumed_steps = 0
+    stats.pre_time += pre_wall  # driver-side shared versioning
+    stats.top_level_bits = sum(count_bits(mask) for mask in pt)
+    stats.callgraph_edges = callgraph.num_edges()
+    # Exact global dedup count over the union of the workers' stored sets
+    # (merge() only sums per-worker uniques, an upper bound).
+    unique = set()
+    for payload in payloads:
+        unique.update(int(text, 16) for text in payload["unique_masks"])
+    stats.unique_ptsets = len(unique)
+    stats.unique_ptset_bits = sum(count_bits(mask) for mask in unique)
+    if level == "vsfs":
+        # The global (object, version) table is replicated per worker and
+        # identical everywhere at the fixpoint; summing would count it
+        # ``jobs`` times.
+        stats.stored_ptsets = max(p.stored_ptsets for p in parts)
+        stats.stored_ptset_bits = max(p.stored_ptset_bits for p in parts)
+
+    sizes = partition.worker_sizes()
+    pstats.workers = [
+        {
+            "worker": w,
+            "nodes": sizes[w],
+            "pops": parts[w].nodes_processed,
+            "solve_s": round(parts[w].solve_time, 6),
+            "pre_s": round(parts[w].pre_time, 6),
+            "incarnation": specs[w].incarnation,
+        }
+        for w in range(jobs)
+    ]
+    pstats.wall_s = time.perf_counter() - begun
+
+    result = FlowSensitiveResult(module, pt, callgraph, stats)
+    result.parallel = pstats
+    return result

@@ -106,6 +106,24 @@ class AnalysisPipeline:
                                  resume_state=resume_state,
                                  resume_step=resume_step)
 
+    def sfs_par(self, jobs: int = 2, delta: bool = True, ptrepo: bool = True,
+                meter=None, faults=None,
+                mode: Optional[str] = None) -> FlowSensitiveResult:
+        """Sharded parallel SFS on *jobs* workers (bit-identical to
+        :meth:`sfs`; see :mod:`repro.parallel`)."""
+        return self.engine.solve("sfs-par", delta=delta, ptrepo=ptrepo,
+                                 meter=meter, faults=faults, jobs=jobs,
+                                 parallel_mode=mode)
+
+    def vsfs_par(self, jobs: int = 2, delta: bool = True, ptrepo: bool = True,
+                 meter=None, faults=None,
+                 mode: Optional[str] = None) -> FlowSensitiveResult:
+        """Sharded parallel VSFS on *jobs* workers (bit-identical to
+        :meth:`vsfs`)."""
+        return self.engine.solve("vsfs-par", delta=delta, ptrepo=ptrepo,
+                                 meter=meter, faults=faults, jobs=jobs,
+                                 parallel_mode=mode)
+
     def icfg_fs(self, meter=None, checkpointer=None, resume_state=None,
                 resume_step: int = 0) -> FlowSensitiveResult:
         return self.engine.solve("icfg-fs", meter=meter,

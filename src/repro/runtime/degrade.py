@@ -40,10 +40,15 @@ from repro.runtime.diagnostics import RunReport
 from repro.solvers.base import FlowSensitiveResult, SolverStats
 from repro.store.codec import ir_fingerprint
 
-#: Ladder per requested analysis, most precise first.
+#: Ladder per requested analysis, most precise first.  The parallel
+#: variants degrade to their serial twin first (same precision, simpler
+#: execution) before dropping precision — a worker blowing its budget
+#: falls back to one process before falling back to Andersen.
 LADDERS = {
     "vsfs": ("vsfs", "sfs", "andersen"),
     "sfs": ("sfs", "andersen"),
+    "vsfs-par": ("vsfs-par", "vsfs", "sfs", "andersen"),
+    "sfs-par": ("sfs-par", "sfs", "andersen"),
     "icfg-fs": ("icfg-fs", "andersen"),
     "ander": ("andersen",),
 }
@@ -126,7 +131,8 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
                       budget: Optional[Budget] = None, fallback: bool = True,
                       faults=None, delta: bool = True, ptrepo: bool = True,
                       checkpoint: Optional[CheckpointConfig] = None,
-                      resume_state=None, resume_meta=None):
+                      resume_state=None, resume_meta=None,
+                      jobs: int = 1, parallel_mode: Optional[str] = None):
     """Run *analysis* on *pipeline* under the degradation ladder.
 
     Returns the usual result object, tagged with ``precision_level``,
@@ -171,6 +177,14 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
             reason="config-mismatch")
 
     def make_rung(level: str) -> Rung:
+        if level.endswith("-par"):
+            # Parallel rungs do their own sealing/revival in memory;
+            # cross-run checkpoints and resume stay serial-only.
+            base = level[: -len("-par")]
+            return level, lambda meter: (
+                pipeline.sfs_par if base == "sfs" else pipeline.vsfs_par)(
+                    jobs=jobs, delta=delta, ptrepo=ptrepo, meter=meter,
+                    faults=faults, mode=parallel_mode)
         ck = checkpointer_for(level)
         state = resume_state if level == resume_level else None
         if level == "vsfs":

@@ -88,6 +88,62 @@ class SolverStats:
     indirect_calls_resolved: int = 0
     delta_kernel: bool = False  # delta propagation enabled for this run
     ptrepo_enabled: bool = False  # deduplicated storage enabled for this run
+    #: Pops inherited from a restored checkpoint.  ``nodes_processed`` is
+    #: the *logical solve's* total (restored runs continue the count), so
+    #: the work this attempt actually performed is :meth:`own_steps`.
+    #: Per-attempt aggregators (stage traces, batch totals) must use that
+    #: difference — summing ``nodes_processed`` over the attempts of a
+    #: crashed-and-resumed run counts every pre-crash pop once per resume.
+    resumed_steps: int = 0
+
+    #: Work counters that add across disjoint units of work (parallel
+    #: shard workers, independent programs).  Times sum to aggregate CPU
+    #: seconds; wall clock is the caller's to measure.
+    ADDITIVE_FIELDS = (
+        "solve_time", "pre_time", "nodes_processed", "propagations",
+        "unions", "strong_updates", "weak_updates", "stored_ptsets",
+        "stored_ptset_bits", "unique_ptsets", "unique_ptset_bits",
+        "union_cache_hits", "union_cache_misses",
+        "indirect_calls_resolved", "resumed_steps",
+    )
+    #: Final-state gauges over structures the units may share (each
+    #: parallel worker converges on the same global call graph, and the
+    #: merged top-level table is the OR of the workers') — summing would
+    #: multiply shared state by the worker count, so a merge takes the
+    #: max and the driver overwrites them with globally recomputed values.
+    GAUGE_FIELDS = ("top_level_bits", "callgraph_edges")
+
+    @classmethod
+    def merge(cls, parts: "List[SolverStats]") -> "SolverStats":
+        """Fold per-worker (or per-program) stats into one aggregate.
+
+        Each input must describe a *disjoint* unit of work.  In
+        particular, never merge the attempts of one crashed-and-resumed
+        solve: a resumed attempt's counters already include everything
+        restored from the checkpoint, so the final attempt alone is the
+        whole logical solve (its own new work is :meth:`own_steps`).
+
+        ``unique_ptsets``/``unique_ptset_bits`` sum the per-unit dedup
+        counts; a set interned by two workers counts twice, so the sum is
+        an upper bound on the global unique count (the parallel driver
+        recomputes the exact global figure over the merged tables).
+        """
+        merged = cls()
+        if not parts:
+            return merged
+        merged.analysis = parts[0].analysis
+        merged.delta_kernel = all(p.delta_kernel for p in parts)
+        merged.ptrepo_enabled = all(p.ptrepo_enabled for p in parts)
+        for name in cls.ADDITIVE_FIELDS:
+            setattr(merged, name, sum(getattr(p, name) for p in parts))
+        for name in cls.GAUGE_FIELDS:
+            setattr(merged, name, max(getattr(p, name) for p in parts))
+        return merged
+
+    def own_steps(self) -> int:
+        """Pops performed by this attempt itself (excludes pops replayed
+        into ``nodes_processed`` from a restored checkpoint)."""
+        return self.nodes_processed - self.resumed_steps
 
     def total_time(self) -> float:
         return self.pre_time + self.solve_time
@@ -164,6 +220,11 @@ class StagedSolverBase:
 
     analysis_name = "base"
 
+    #: Instruction kinds whose SVFG nodes carry a transfer rule and so
+    #: seed the worklist (memory nodes only act once data reaches them).
+    SEED_TYPES = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
+                  StoreInst, CallInst, RetInst)
+
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
                  meter=None, faults=None, checkpointer=None, ctx=None):
         if ctx is not None:
@@ -194,6 +255,7 @@ class StagedSolverBase:
         self.checkpointer = checkpointer
         self._resumed = False
         self._steps_done = 0  # pops completed in earlier (resumed) runs
+        self._union_baseline = (0, 0)  # pre-resume repo cache hits/misses
         self.stats = SolverStats(
             analysis=self.analysis_name,
             delta_kernel=self.delta,
@@ -253,15 +315,7 @@ class StagedSolverBase:
                     self.faults.fire("pre_meld", self.analysis_name)
                 self._prepare()  # fills stats.pre_time (versioning, for VSFS)
                 start = time.perf_counter()
-                # Seed the worklist with the rule-bearing instruction nodes;
-                # memory nodes (MEMPHI, actual/formal IN/OUT) only act once
-                # points-to data reaches them, which pushes them again.  A
-                # resumed run restores the mid-solve worklist instead.
-                seed_types = (AllocInst, CopyInst, PhiInst, FieldInst, LoadInst,
-                              StoreInst, CallInst, RetInst)
-                for node in self.svfg.nodes:
-                    if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
-                        self.worklist.push(node.id)
+                self._seed()
             worklist = self.worklist
             nodes = self.svfg.nodes
             tick = meter.tick if meter is not None else None
@@ -338,6 +392,19 @@ class StagedSolverBase:
     def _prepare(self) -> None:
         """Hook: pre-solve setup (VSFS runs versioning here)."""
 
+    def _seed(self) -> None:
+        """Seed the worklist with the rule-bearing instruction nodes.
+
+        Memory nodes (MEMPHI, actual/formal IN/OUT) only act once
+        points-to data reaches them, which pushes them again.  A resumed
+        run restores the mid-solve worklist instead of seeding.  Sharded
+        workers override this to seed only the nodes they own.
+        """
+        seed_types = self.SEED_TYPES
+        for node in self.svfg.nodes:
+            if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
+                self.worklist.push(node.id)
+
     # ----------------------------------------------------------- persistence
 
     def snapshot_state(self) -> Dict[str, object]:
@@ -365,6 +432,14 @@ class StagedSolverBase:
                 "strong_updates": stats.strong_updates,
                 "weak_updates": stats.weak_updates,
                 "indirect_calls_resolved": stats.indirect_calls_resolved,
+                # Union-cache tallies live on the repo, whose snapshot is
+                # deliberately content-only; carrying them here keeps the
+                # cumulative hit/miss counters consistent with the
+                # cumulative ``unions`` across a resume.
+                "union_cache_hits": (self.ptrepo.union_hits
+                                     if self.ptrepo is not None else 0),
+                "union_cache_misses": (self.ptrepo.union_misses
+                                       if self.ptrepo is not None else 0),
             },
         }
 
@@ -399,6 +474,11 @@ class StagedSolverBase:
             stats.strong_updates = counters["strong_updates"]
             stats.weak_updates = counters["weak_updates"]
             stats.indirect_calls_resolved = counters["indirect_calls_resolved"]
+            # The restored repo's live tallies start at zero; remember the
+            # pre-crash ones so _finish_footprint reports cumulative
+            # cache numbers matching the cumulative union count.
+            self._union_baseline = (counters.get("union_cache_hits", 0),
+                                    counters.get("union_cache_misses", 0))
         except CheckpointError:
             raise
         except (KeyError, ValueError, TypeError, IndexError, AttributeError) as err:
@@ -406,6 +486,7 @@ class StagedSolverBase:
                 f"checkpoint payload does not restore cleanly: "
                 f"{type(err).__name__}: {err}", reason="corrupt") from err
         self._steps_done = step
+        self.stats.resumed_steps = step
         self._resumed = True
         if self.checkpointer is not None:
             self.checkpointer.mark_resumed(step)
@@ -505,6 +586,14 @@ class StagedSolverBase:
                 self._on_new_call_edge(call, callee, touched)
                 for src in touched:
                     self.worklist.push(src)
+                # The RET rule spreads over callsites_of(callee), which
+                # just grew — replay it even when the SVFG edges already
+                # existed (build-time-wired direct calls leave *touched*
+                # empty, and a ret processed before this edge was
+                # registered never saw this callsite).
+                exit_inst = callee.exit_inst()
+                if exit_inst is not None and call.dst is not None:
+                    self.worklist.push(self.svfg.inst_node[exit_inst].id)
         # Bind actual arguments to formal parameters (CALL rule).
         for callee in self.callgraph.callees_of(call):
             for arg, param in zip(call.args, callee.params):
@@ -569,8 +658,10 @@ class StagedSolverBase:
         self.stats.unique_ptsets = len(seen)
         self.stats.unique_ptset_bits = sum(count_bits(mask) for mask in seen)
         if self.ptrepo is not None:
-            self.stats.union_cache_hits = self.ptrepo.union_hits
-            self.stats.union_cache_misses = self.ptrepo.union_misses
+            base_hits, base_misses = self._union_baseline
+            self.stats.union_cache_hits = base_hits + self.ptrepo.union_hits
+            self.stats.union_cache_misses = (base_misses
+                                             + self.ptrepo.union_misses)
 
     def strong_update_target(self, ptr_mask: int) -> Optional[int]:
         """If a store through *ptr_mask* may strong-update, the object id.
@@ -583,3 +674,24 @@ class StagedSolverBase:
             if self.module.objects[oid].is_singleton:
                 return oid
         return None
+
+    def defers_passthrough(self, ptr_mask: int, oid: int) -> bool:
+        """Schedule-independence gate for the store pass-through rule.
+
+        A store visited while its pointer operand is still unresolved
+        (pt(p) = ∅) must not pass a *singleton* object's incoming set
+        through: if pt(p) later resolves to exactly that object the store
+        strong-updates, and the already-leaked set can never be retracted
+        (OUT accumulation is monotone) — so whether the leak happens would
+        depend on the visit schedule.  Deferring is lossless whenever the
+        pointer eventually resolves: any growth of pt(p) re-pushes the
+        store for a full revisit (``set_pt`` pushes ``var_uses``), which
+        replays the strong/weak/pass-through decision against the full
+        incoming set.  Non-singleton objects can never be strong-updated,
+        so their pass-through is safe from the first visit.  With this
+        gate every transfer function's contribution is bounded by its
+        value at the final fixpoint, making the solve confluent: any
+        fair schedule — FIFO, LIFO, or the sharded parallel one — reaches
+        the same least fixpoint bit for bit (DESIGN.md §10).
+        """
+        return not ptr_mask and self.module.objects[oid].is_singleton

@@ -305,6 +305,7 @@ class ICFGFlowSensitive:
             raise CheckpointError(
                 f"checkpoint payload does not restore cleanly: "
                 f"{type(err).__name__}: {err}", reason="corrupt") from err
+        self.stats.resumed_steps = self.stats.nodes_processed
         self._resumed = True
         if self.checkpointer is not None:
             self.checkpointer.mark_resumed(step)

@@ -152,6 +152,8 @@ class SFSAnalysis(StagedSolverBase):
             for oid, delta in dirty.items():
                 if oid == su_oid:
                     continue  # killed: the incoming set does not survive
+                if self.defers_passthrough(ptr_mask, oid):
+                    continue  # deferred until pt(ptr) resolves (full revisit)
                 entry = out_set.get(oid, 0)
                 old = repo.mask(entry) if repo is not None else entry
                 added = delta & ~old
@@ -181,6 +183,8 @@ class SFSAnalysis(StagedSolverBase):
             elif ptr_mask >> oid & 1:
                 out = incoming | gen  # weak update
                 self.stats.weak_updates += 1
+            elif self.defers_passthrough(ptr_mask, oid):
+                continue  # deferred until pt(ptr) resolves (full revisit)
             else:
                 out = incoming  # pass-through
             entry = out_set.get(oid, 0)

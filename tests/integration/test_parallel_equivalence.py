@@ -1,0 +1,109 @@
+"""Parallel sharded solving must be result-invisible (DESIGN.md §10).
+
+The sharded drivers partition the SVFG across workers and exchange only
+frontier deltas, but the solvers are confluent: any fair schedule reaches
+the identical least fixpoint.  These tests pin that down bit-for-bit —
+parallel SFS/VSFS against their serial twins across worker counts,
+transports and ablations, including a worker that is hard-killed
+mid-solve and revived from its last seal.
+"""
+
+import pytest
+
+from repro.bench.workloads import suite_program
+from repro.parallel.driver import solve_parallel
+from repro.pipeline import AnalysisPipeline
+
+SOURCE_NAME = "du"  # smallest suite benchmark: real call/heap structure
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return AnalysisPipeline(module=suite_program(SOURCE_NAME))
+
+
+@pytest.fixture(scope="module")
+def serial_sfs(pipeline):
+    return pipeline.sfs()
+
+
+@pytest.fixture(scope="module")
+def serial_vsfs(pipeline):
+    return pipeline.vsfs()
+
+
+def assert_identical(parallel, serial):
+    """Bit-identical points-to results and call graphs."""
+    assert parallel._pt == serial._pt
+    assert ({(call.id, callee.name)
+             for call, callee in parallel.callgraph.call_edges()}
+            == {(call.id, callee.name)
+                for call, callee in serial.callgraph.call_edges()})
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_sfs_matches_serial(self, pipeline, serial_sfs, jobs):
+        result = pipeline.sfs_par(jobs=jobs)
+        assert_identical(result, serial_sfs)
+        assert result.parallel.jobs == jobs
+        assert result.parallel.rounds >= jobs  # topological stagger
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_vsfs_matches_serial(self, pipeline, serial_vsfs, jobs):
+        result = pipeline.vsfs_par(jobs=jobs)
+        assert_identical(result, serial_vsfs)
+        assert result.parallel.jobs == jobs
+
+    def test_eager_kernel_matches_serial(self, pipeline):
+        serial = pipeline.sfs(delta=False)
+        result = pipeline.sfs_par(jobs=2, delta=False)
+        assert_identical(result, serial)
+
+    def test_no_ptrepo_matches_serial(self, pipeline, serial_sfs):
+        # The frontier codec never ships raw sets even when deduplicated
+        # storage is ablated away inside the solver.
+        result = pipeline.sfs_par(jobs=2, ptrepo=False)
+        assert result._pt == serial_sfs._pt
+
+    def test_fork_transport_matches_inline(self, pipeline, serial_sfs):
+        from repro.parallel.driver import fork_available
+
+        if not fork_available():
+            pytest.skip("no fork start method on this platform")
+        result = pipeline.sfs_par(jobs=2, mode="fork")
+        assert_identical(result, serial_sfs)
+        assert result.parallel.mode == "fork"
+
+    def test_merged_stats_account_all_workers(self, pipeline, serial_sfs):
+        result = pipeline.sfs_par(jobs=2)
+        workers = result.parallel.workers
+        assert len(workers) == 2
+        assert sum(w["pops"] for w in workers) == result.stats.nodes_processed
+        assert sum(w["nodes"] for w in workers) == len(
+            pipeline.svfg().nodes)
+        # Gauges are recomputed globally, identical to serial.
+        assert result.stats.top_level_bits == serial_sfs.stats.top_level_bits
+        assert result.stats.callgraph_edges == serial_sfs.stats.callgraph_edges
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("level,kill_worker", [("sfs", 0), ("vsfs", 1)])
+    def test_killed_worker_revives_from_seal(self, pipeline, serial_sfs,
+                                             serial_vsfs, level, kill_worker):
+        serial = serial_sfs if level == "sfs" else serial_vsfs
+        versioning = pipeline.versioning() if level == "vsfs" else None
+        result = solve_parallel(
+            pipeline.fresh_svfg(), level, jobs=2, versioning=versioning,
+            seal_every=1, kill_after_round=1, kill_worker=kill_worker)
+        assert_identical(result, serial)
+        assert result.parallel.revivals >= 1
+        assert result.parallel.workers[kill_worker]["incarnation"] >= 1
+
+    def test_kill_without_seal_replays_from_scratch(self, pipeline,
+                                                    serial_sfs):
+        result = solve_parallel(
+            pipeline.fresh_svfg(), "sfs", jobs=2,
+            seal_every=0, kill_after_round=1, kill_worker=0)
+        assert_identical(result, serial_sfs)
+        assert result.parallel.revivals >= 1
