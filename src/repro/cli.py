@@ -70,6 +70,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="disable the delta propagation kernel (SFS/VSFS)")
     parser.add_argument("--no-ptrepo", action="store_true",
                         help="disable deduplicated points-to storage (SFS/VSFS)")
+    parser.add_argument("--no-mde-batch", action="store_true",
+                        help="disable propagation-batch memoisation in the "
+                             "staged kernels (dedup-engine ablation; results "
+                             "are bit-identical either way)")
+    parser.add_argument("--no-arena", action="store_true",
+                        help="disable the memory-mapped mask arena that "
+                             "--store otherwise shares across runs and "
+                             "fork workers")
     parser.add_argument("--budget-seconds", type=float, metavar="S",
                         help="wall-clock budget for the solve phase")
     parser.add_argument("--budget-mb", type=float, metavar="MB",
@@ -181,6 +189,7 @@ def _checkpoint_config(args: argparse.Namespace) -> Optional[CheckpointConfig]:
 
 def _run(args: argparse.Namespace, source: str) -> int:
     store = cache = None
+    arena_path = None
     if args.store is not None:
         import os
 
@@ -189,8 +198,13 @@ def _run(args: argparse.Namespace, source: str) -> int:
 
         store = ResultStore(args.store)
         cache = StageCache(os.path.join(args.store, "stages"))
+        if not args.no_arena:
+            # Persist the mask arena next to the results: warm runs (and
+            # fork workers) attach it instead of re-interning from scratch.
+            arena_path = store.arena_path
     pipeline = AnalysisPipeline.from_source(
-        source, language="ir" if args.ir else "c", cache=cache)
+        source, language="ir" if args.ir else "c", cache=cache,
+        mde_batch=not args.no_mde_batch, arena_path=arena_path)
     module = pipeline.module
     delta, ptrepo = not args.no_delta, not args.no_ptrepo
 
@@ -346,6 +360,18 @@ def _client_flags(args: argparse.Namespace, module, pipeline, result) -> int:
             print(f"union cache: {stats.union_cache_hits} hits / "
                   f"{stats.union_cache_misses} misses "
                   f"({stats.union_cache_hit_rate():.1%} hit rate)")
+            print(f"batch memo: {'on' if stats.mde_batch else 'off'}, "
+                  f"{stats.batch_memo_hits} hits / "
+                  f"{stats.batch_memo_misses} misses "
+                  f"({stats.batch_memo_hit_rate():.1%} hit rate)")
+            print(f"dedup memory: {stats.interner_entries} interned sets, "
+                  f"{stats.union_cache_entries} union-cache entries, "
+                  f"{stats.batch_cache_entries} batch-memo entries, "
+                  f"~{stats.dedup_resident_bytes} resident bytes")
+            if stats.arena_masks:
+                print(f"arena: {stats.arena_masks} masks, "
+                      f"{stats.arena_resident_bytes} resident bytes "
+                      f"(memory-mapped, shared across runs/workers)")
 
     if args.stats:
         svfg_stats = pipeline.svfg().stats()

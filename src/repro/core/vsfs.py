@@ -45,9 +45,11 @@ class VSFSAnalysis(StagedSolverBase):
 
     def __init__(self, svfg: SVFG, versioning: Optional[ObjectVersioning] = None,
                  delta: bool = True, ptrepo: bool = True, meter=None,
-                 faults=None, checkpointer=None, ctx=None):
+                 faults=None, checkpointer=None, ctx=None,
+                 mde=None, mde_batch=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults, checkpointer=checkpointer, ctx=ctx)
+                         faults=faults, checkpointer=checkpointer, ctx=ctx,
+                         mde=mde, mde_batch=mde_batch)
         self._given_versioning = versioning
         self.versioning: Optional[ObjectVersioning] = versioning
         # Global points-to table: oid -> version id -> entry (a PTRepo id
@@ -113,6 +115,13 @@ class VSFSAnalysis(StagedSolverBase):
 
         The delta kernel forwards only the bits each version had not seen;
         the eager path re-merges and re-forwards whole masks.
+
+        With the batch memo on, the whole per-version step is one
+        ``BatchMemo.apply`` lookup, and — because global (object, version)
+        keying makes identical (entry, delta) pairs recur across versions
+        and nodes — the transitive closure walks the constraint chain in
+        *id space*: a forwarded delta is never re-interned, and a chain
+        the solver already walked anywhere costs one lookup per hop.
         """
         if not mask:
             return
@@ -123,9 +132,42 @@ class VSFSAnalysis(StagedSolverBase):
         constraints = self.versioning.constraints
         readers = self.readers
         repo = self.ptrepo
+        batch = self.batch
         delta_mode = self.delta
         worklist = self.worklist
         stats = self.stats
+        if batch is not None:
+            id_stack = [(oid, ver, repo.intern(mask))]
+            while id_stack:
+                oid, ver, mask_id = id_stack.pop()
+                table = self._table(oid)
+                while ver >= len(table):  # defensive: OTF-interned versions
+                    table.append(0)
+                new, added_id = batch.apply(table[ver], mask_id)
+                if delta_mode:
+                    if not added_id:
+                        continue
+                    stats.unions += 1
+                else:
+                    stats.unions += 1  # eager: union applied on every visit
+                    if not added_id:
+                        continue
+                if faults is not None:
+                    faults.fire("ptrepo_union", self.analysis_name)
+                table[ver] = new
+                if delta_mode:
+                    added = repo.mask(added_id)
+                    for reader in readers.get((oid, ver), ()):
+                        worklist.push_delta(reader, oid, added)
+                    forward_id = added_id
+                else:
+                    for reader in readers.get((oid, ver), ()):
+                        worklist.push(reader)
+                    forward_id = new  # old | added
+                for dst_ver in constraints.get((oid, ver), ()):
+                    stats.propagations += 1
+                    id_stack.append((oid, dst_ver, forward_id))
+            return
         stack = [(oid, ver, mask)]
         while stack:
             oid, ver, mask = stack.pop()
@@ -179,11 +221,26 @@ class VSFSAnalysis(StagedSolverBase):
                 self.set_pt(inst.dst, mask)
             return
         consumed = self.versioning.consumed[node.id]
-        mask = 0
-        for oid in iter_bits(ptr_mask):
-            ver = consumed.get(oid)
-            if ver is not None:
-                mask |= self.ptv_mask(oid, ver)
+        batch = self.batch
+        if batch is not None:
+            # The n-way gather over the consumed versions' entry ids is a
+            # recurring batch (loads sharing versions share the gather).
+            ids = []
+            ptv = self.ptv
+            for oid in iter_bits(ptr_mask):
+                ver = consumed.get(oid)
+                if ver is None:
+                    continue
+                table = ptv.get(oid)
+                if table is not None and ver < len(table):
+                    ids.append(table[ver])
+            mask = batch.gather_mask(ids)
+        else:
+            mask = 0
+            for oid in iter_bits(ptr_mask):
+                ver = consumed.get(oid)
+                if ver is not None:
+                    mask |= self.ptv_mask(oid, ver)
         if mask:
             self.set_pt(inst.dst, mask)
 
@@ -300,6 +357,7 @@ class VSFSAnalysis(StagedSolverBase):
                 raise CheckpointError(
                     "checkpoint lacks the ptrepo interning table")
             self.ptrepo = PTRepo.from_snapshot(mem["repo"])
+            self._rebind_mde()  # memo keys/arena positions are per-repo
         self.ptv = {int(oid): [int(entry, 16) for entry in table]
                     for oid, table in mem["ptv"].items()}
 

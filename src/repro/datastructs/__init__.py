@@ -15,6 +15,11 @@ chosen for speed under CPython:
   propagation kernel.
 - :class:`~repro.datastructs.ptrepo.PTRepo` interns points-to masks to dense
   ids and memoises pairwise unions, so byte-identical sets are stored once.
+- :class:`~repro.datastructs.mde.MdeEngine` stacks the multi-level dedup
+  layers on one repository: :class:`~repro.datastructs.mde.BatchMemo`
+  memoises whole propagation batches, and
+  :class:`~repro.datastructs.arena.PTArena` persists the interned masks in
+  a memory-mapped region fork workers attach read-shared.
 - :class:`~repro.datastructs.unionfind.UnionFind` backs constraint-graph cycle
   collapsing in Andersen's analysis.
 - :class:`~repro.datastructs.graph.DiGraph` is a small adjacency-list digraph
@@ -22,9 +27,11 @@ chosen for speed under CPython:
   graph and the constraint graph.
 """
 
+from repro.datastructs.arena import ArenaError, PTArena
 from repro.datastructs.bitset import BitSet, bits_of, count_bits, iter_bits
 from repro.datastructs.graph import DiGraph, strongly_connected_components, topological_order
 from repro.datastructs.interning import Interner
+from repro.datastructs.mde import BatchMemo, MdeEngine
 from repro.datastructs.ptrepo import EMPTY_ID, PTRepo
 from repro.datastructs.unionfind import UnionFind
 from repro.datastructs.worklist import (
@@ -35,7 +42,11 @@ from repro.datastructs.worklist import (
 )
 
 __all__ = [
+    "ArenaError",
+    "BatchMemo",
     "BitSet",
+    "MdeEngine",
+    "PTArena",
     "bits_of",
     "count_bits",
     "iter_bits",

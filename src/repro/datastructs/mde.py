@@ -1,0 +1,187 @@
+"""Multi-level deduplication engine (MDE) for points-to solving.
+
+The PTRepo pairwise-union cache (PR 1) dedups *single* unions; profiling
+the staged kernels shows the same redundancy one level up: because meld
+versioning keys memory by global (object, version), identical
+(entry-id, delta-id) *propagation batches* recur across SVFG nodes,
+degradation-ladder rungs, shards, and warm runs.  Following the
+operation-level argument of *Points-to Analysis Using MDE*, this module
+stacks three dedup layers on one interner:
+
+1. :class:`BatchMemo` — memoises whole transfer/propagate steps.
+   ``apply(entry, delta_id)`` answers "what does this entry become under
+   this delta, and what actually grew?" with one dict lookup once any
+   node anywhere has executed the same batch; ``gather_mask`` memoises
+   the n-way gather a load performs over its pointees' entries.
+2. Cross-rung hash-consing — :class:`MdeEngine` owns the
+   :class:`~repro.datastructs.ptrepo.PTRepo`; every ladder rung solved
+   on one engine shares the interner, the union cache, and the batch
+   memo, so a vsfs→sfs fallback re-uses instead of re-interning.
+3. A memory-mapped arena (:mod:`repro.datastructs.arena`) persisting the
+   interned masks so fork workers attach them read-shared and warm runs
+   reattach them.
+
+Everything here is defined in terms of repo ids over masks that exist
+either way, so results are bit-identical to MDE-off runs by
+construction; only the amount of recomputation changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.datastructs.arena import ArenaError, PTArena
+from repro.datastructs.ptrepo import PTRepo
+
+
+class BatchMemo:
+    """Propagation-batch memo over one repository's id space.
+
+    Keys are pure id tuples, so a hit is sound exactly because the repo
+    hash-conses: equal ids ⇒ equal masks ⇒ equal batch outcome.  The
+    memo must be dropped whenever the repository instance it was built
+    over is swapped (see ``StagedSolverBase._rebind_mde``) — ids are
+    meaningless across repositories.
+    """
+
+    __slots__ = ("repo", "_apply", "_gather", "hits", "misses")
+
+    def __init__(self, repo: PTRepo):
+        self.repo = repo
+        self._apply: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._gather: Dict[Tuple[int, ...], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def entries(self) -> int:
+        return len(self._apply) + len(self._gather)
+
+    def apply(self, entry: int, delta_id: int) -> Tuple[int, int]:
+        """One propagation batch: ``(new_entry_id, added_id)``.
+
+        ``new_entry_id`` identifies ``entry | delta``; ``added_id``
+        identifies ``delta & ~entry`` and is 0 (the empty set) exactly
+        when the batch did not grow the entry — callers use its
+        truthiness the way the raw kernel uses ``added``.
+        """
+        key = (entry, delta_id)
+        got = self._apply.get(key)
+        if got is not None:
+            self.hits += 1
+            return got
+        self.misses += 1
+        repo = self.repo
+        added = repo.mask(delta_id) & ~repo.mask(entry)
+        if added:
+            got = (repo.union(entry, delta_id), repo.intern(added))
+        else:
+            got = (entry, 0)
+        self._apply[key] = got
+        return got
+
+    def gather_mask(self, ids: Iterable[int]) -> int:
+        """Union of the masks behind *ids* (a load's n-way gather).
+
+        The key drops empties, dedups and sorts — all transformations
+        that preserve the union — so permuted gathers over the same
+        entries hit the same memo slot.
+        """
+        key = tuple(sorted(set(i for i in ids if i)))
+        if not key:
+            return 0
+        repo = self.repo
+        if len(key) == 1:
+            return repo.mask(key[0])
+        got = self._gather.get(key)
+        if got is not None:
+            self.hits += 1
+            return repo.mask(got)
+        self.misses += 1
+        mask = 0
+        for ident in key:
+            mask |= repo.mask(ident)
+        self._gather[key] = repo.intern(mask)
+        return mask
+
+
+class MdeEngine:
+    """One shared deduplication domain: interner + batch memo + arena.
+
+    The engine is what the stage graph shares across ladder rungs (the
+    ``StageContext.mde`` slot): every solver constructed over it uses
+    the same :class:`PTRepo` and :class:`BatchMemo`, and the optional
+    arena persists that repository's masks across processes and runs.
+    """
+
+    def __init__(self, repo: Optional[PTRepo] = None,
+                 arena: Optional[PTArena] = None):
+        self.repo = repo if repo is not None else PTRepo()
+        self.batch = BatchMemo(self.repo)
+        self.arena: Optional[PTArena] = None
+        self.arena_preloaded = 0
+        #: Path the corrupt arena was quarantined to, when that happened.
+        self.arena_quarantined: Optional[str] = None
+        self._arena_aligned = False
+        if arena is not None:
+            self.bind_arena(arena)
+
+    @classmethod
+    def open(cls, arena_path: Optional[str] = None, *,
+             attach_only: bool = False) -> "MdeEngine":
+        """Build an engine, best-effort binding the arena at *arena_path*.
+
+        The arena is a cache, so this never raises on its account: a
+        corrupt file is quarantined (writers only — workers must not
+        race the owning process) and the engine proceeds arena-less; a
+        missing file in ``attach_only`` mode is simply skipped.
+        """
+        engine = cls()
+        if not arena_path:
+            return engine
+        arena: Optional[PTArena] = None
+        try:
+            if attach_only:
+                arena = PTArena.attach(arena_path)
+            else:
+                arena = PTArena.open(arena_path)
+        except ArenaError:
+            if not attach_only:
+                from repro.store.atomic import quarantine_file
+
+                engine.arena_quarantined = quarantine_file(arena_path)
+                try:
+                    arena = PTArena.open(arena_path)
+                except (ArenaError, OSError):
+                    arena = None
+        except OSError:
+            arena = None
+        if arena is not None:
+            engine.bind_arena(arena)
+        return engine
+
+    def bind_arena(self, arena: PTArena) -> None:
+        """Adopt *arena*, pre-interning its records.
+
+        When the repository was fresh, record *i* lands on repo id *i*
+        and the arena stays positionally aligned with the repository —
+        the invariant :meth:`flush` needs to append only the suffix.  A
+        misaligned bind (non-empty repo, or an arena with duplicate
+        records) still warms the interner but disables flushing.
+        """
+        before = self.repo.size
+        for mask in arena.masks():
+            self.repo.intern(mask)
+        self.arena = arena
+        self.arena_preloaded = self.repo.size - before
+        self._arena_aligned = self.repo.size == len(arena)
+
+    def flush(self) -> int:
+        """Append masks interned since the arena watermark; returns count."""
+        arena = self.arena
+        if arena is None or not arena.writable or not self._arena_aligned:
+            return 0
+        fresh = self.repo.masks_since(len(arena))
+        if not fresh:
+            return 0
+        return arena.append_masks(fresh)

@@ -19,7 +19,7 @@ entry identical to the truthiness of the mask it names.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.datastructs.bitset import count_bits
 
@@ -62,7 +62,7 @@ class PTRepo:
         """The mask an id names (the single shared copy)."""
         return self._masks[ident]
 
-    def get(self, mask: int) -> "int | None":
+    def get(self, mask: int) -> Optional[int]:
         """The id of *mask* if already interned, else None."""
         return self._ids.get(mask)
 
@@ -168,6 +168,10 @@ class PTRepo:
         domain of :meth:`export_ids`/:meth:`import_ids`)."""
         return len(self._masks)
 
+    def masks_since(self, watermark: int) -> List[int]:
+        """Raw masks appended since *watermark* (arena flush suffix)."""
+        return self._masks[watermark:]
+
     # ----------------------------------------------------------------- stats
 
     @property
@@ -187,3 +191,17 @@ class PTRepo:
         if idents is not None:
             return sum(count_bits(self._masks[i]) for i in idents)
         return sum(count_bits(mask) for mask in self._masks)
+
+    @property
+    def union_cache_size(self) -> int:
+        """Entries in the pairwise-union memo (it grows without bound)."""
+        return len(self._union_cache)
+
+    def content_bytes(self) -> int:
+        """Estimated resident bytes of the deduplicated mask content.
+
+        Counts each distinct mask's payload once — the denominator the
+        dedup-memory story is told against; dict/list overhead and the
+        union cache are reported separately by the solver stats.
+        """
+        return sum((mask.bit_length() + 7) // 8 for mask in self._masks)

@@ -159,6 +159,18 @@ class Engine:
             # Build the substrate outside the solve's timed window.
             for dep in stage.inputs:
                 self.ensure(dep)
+        base_level = level[:-len("-par")] if level.endswith("-par") else level
+        effective_ptrepo = ctx.ptrepo if ptrepo is None else bool(ptrepo)
+        if (effective_ptrepo and base_level in ("sfs", "vsfs")
+                and ctx.mde is None):
+            # Lazily create the dedup engine on the *base* context: every
+            # rung view copies the reference, so a degradation-ladder
+            # fallback (or a second governed solve on this pipeline)
+            # shares one interner/batch memo, and the arena — when a
+            # result store configured one — is opened exactly once.
+            from repro.datastructs.mde import MdeEngine
+
+            ctx.mde = MdeEngine.open(ctx.arena_path)
         rung = ctx.for_solve(
             delta=ctx.delta if delta is None else bool(delta),
             ptrepo=ctx.ptrepo if ptrepo is None else bool(ptrepo),
@@ -181,10 +193,25 @@ class Engine:
             raise
         if level == "andersen":
             ctx.artifacts["andersen"] = result
+        detail: Optional[Dict[str, Any]] = None
+        if ctx.mde is not None and base_level in ("sfs", "vsfs"):
+            # Persist masks interned by this rung so the next run (or the
+            # next process) warm-attaches them; a read-only or misaligned
+            # arena makes this a no-op.
+            ctx.mde.flush()
+            stats = getattr(result, "stats", None)
+            if stats is not None and getattr(stats, "ptrepo_enabled", False):
+                detail = {
+                    "batch_memo_hits": getattr(stats, "batch_memo_hits", 0),
+                    "batch_memo_misses": getattr(stats, "batch_memo_misses", 0),
+                    "interner_entries": getattr(stats, "interner_entries", 0),
+                    "arena_resident_bytes": getattr(
+                        stats, "arena_resident_bytes", 0),
+                }
         ctx.bus.emit(StageEvent(
             "stage_end", name, wall_s=time.perf_counter() - begun,
             steps=stage.steps(result), main_phase=True, fingerprint=fp,
-            outcome="ok"))
+            outcome="ok", detail=detail))
         return result
 
     # ----------------------------------------------------------- integration

@@ -41,6 +41,9 @@ class StageEvent:
     fingerprint: Optional[str] = None
     #: "ok" or the exception type name that ended the stage.
     outcome: Optional[str] = None
+    #: Optional stage-specific observations (solve stages attach their
+    #: dedup-engine figures: batch memo hit rate, arena resident bytes).
+    detail: Optional[Dict[str, object]] = None
 
 
 class EventBus:
@@ -69,6 +72,7 @@ class StageRecord:
     artifact_bytes: Optional[int] = None
     fingerprint: Optional[str] = None
     outcome: Optional[str] = None
+    detail: Optional[Dict[str, object]] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -85,6 +89,7 @@ class StageRecord:
             "artifact_bytes": self.artifact_bytes,
             "fingerprint": self.fingerprint,
             "outcome": self.outcome,
+            "detail": self.detail,
         }
 
 
@@ -125,6 +130,8 @@ class StageTrace:
                 record.fingerprint = event.fingerprint
             if record.cache is None and event.cache is not None:
                 record.cache = event.cache
+            if event.detail is not None:
+                record.detail = event.detail
             self.records.append(record)
 
     # ------------------------------------------------------------ observation
@@ -163,6 +170,17 @@ class StageTrace:
                 f"{record.stage:<16} {phase:<9} {record.wall_s:>8.4f}s "
                 f"{record.steps:>8} {cache:<12} {size:>8} "
                 f"{record.outcome or '-'}")
+            detail = record.detail or {}
+            memo_calls = (int(detail.get("batch_memo_hits") or 0)
+                          + int(detail.get("batch_memo_misses") or 0))
+            if memo_calls:
+                rate = int(detail.get("batch_memo_hits") or 0) / memo_calls
+                lines.append(
+                    f"  {'':<14} dedup: batch memo "
+                    f"{detail.get('batch_memo_hits')}/{memo_calls} hits "
+                    f"({rate:.1%}), interner "
+                    f"{detail.get('interner_entries', 0)} sets, arena "
+                    f"{detail.get('arena_resident_bytes', 0)} B")
         lines.append(
             f"substrate: {self.substrate_wall():.4f}s (excluded from main "
             f"phase); main phase: {self.main_phase_wall():.4f}s; "

@@ -365,7 +365,8 @@ class ParallelSolveStage(SolveStage):
             ctx.artifacts["svfg"], self.base_level, ctx.jobs,
             delta=ctx.delta, ptrepo=ctx.ptrepo, budget=budget,
             faults=ctx.faults, versioning=ctx.artifacts.get("versioning"),
-            mode=ctx.parallel_mode)
+            mode=ctx.parallel_mode, mde=getattr(ctx, "mde", None),
+            mde_batch=getattr(ctx, "mde_batch", True))
         if ctx.meter is not None:
             # The workers metered themselves (per-worker budgets); reflect
             # their pops into the governing meter so ladder reports and

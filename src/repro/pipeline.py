@@ -38,20 +38,26 @@ class AnalysisPipeline:
 
     def __init__(self, module: Optional[Module] = None,
                  cache: Optional[StageCache] = None,
-                 source: Optional[str] = None, language: str = "c"):
+                 source: Optional[str] = None, language: str = "c",
+                 mde_batch: bool = True,
+                 arena_path: Optional[str] = None):
         if module is None and source is None:
             raise AnalysisError(
                 "AnalysisPipeline needs a prepared module or source text")
         ctx = StageContext(module=module, source=source, language=language,
-                           cache=cache)
+                           cache=cache, mde_batch=mde_batch,
+                           arena_path=arena_path)
         self.engine = Engine(ctx)
         self.module: Module = self.engine.ensure("prepare")
 
     @classmethod
     def from_source(cls, source: str, language: str = "c",
-                    cache: Optional[StageCache] = None) -> "AnalysisPipeline":
+                    cache: Optional[StageCache] = None,
+                    mde_batch: bool = True,
+                    arena_path: Optional[str] = None) -> "AnalysisPipeline":
         """Route parsing/preparation through the engine's own stages."""
-        return cls(source=source, language=language, cache=cache)
+        return cls(source=source, language=language, cache=cache,
+                   mde_batch=mde_batch, arena_path=arena_path)
 
     @property
     def trace(self) -> StageTrace:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.callgraph import CallGraph
 from repro.datastructs.bitset import count_bits, iter_bits
+from repro.datastructs.mde import BatchMemo, MdeEngine
 from repro.datastructs.ptrepo import PTRepo
 from repro.datastructs.worklist import DeltaWorkList, FIFOWorkList
 from repro.errors import BudgetExceeded
@@ -95,6 +96,23 @@ class SolverStats:
     #: difference — summing ``nodes_processed`` over the attempts of a
     #: crashed-and-resumed run counts every pre-crash pop once per resume.
     resumed_steps: int = 0
+    #: Propagation-batch memoisation (repro.datastructs.mde) enabled,
+    #: plus its hit/miss counters — a hit is one whole transfer step
+    #: answered from the memo instead of recomputed.
+    mde_batch: bool = False
+    batch_memo_hits: int = 0
+    batch_memo_misses: int = 0
+    #: Dedup *memory* cost gauges: how many rows the interner holds, how
+    #: many entries the pairwise-union and batch memos have accumulated
+    #: (both grow without bound), the estimated resident bytes of the
+    #: deduplicated mask content, and the size of the memory-mapped
+    #: arena this solve was attached to (0 when arena-less).
+    interner_entries: int = 0
+    union_cache_entries: int = 0
+    batch_cache_entries: int = 0
+    dedup_resident_bytes: int = 0
+    arena_masks: int = 0
+    arena_resident_bytes: int = 0
 
     #: Work counters that add across disjoint units of work (parallel
     #: shard workers, independent programs).  Times sum to aggregate CPU
@@ -104,6 +122,7 @@ class SolverStats:
         "unions", "strong_updates", "weak_updates", "stored_ptsets",
         "stored_ptset_bits", "unique_ptsets", "unique_ptset_bits",
         "union_cache_hits", "union_cache_misses",
+        "batch_memo_hits", "batch_memo_misses",
         "indirect_calls_resolved", "resumed_steps",
     )
     #: Final-state gauges over structures the units may share (each
@@ -111,7 +130,12 @@ class SolverStats:
     #: merged top-level table is the OR of the workers') — summing would
     #: multiply shared state by the worker count, so a merge takes the
     #: max and the driver overwrites them with globally recomputed values.
-    GAUGE_FIELDS = ("top_level_bits", "callgraph_edges")
+    #: The dedup-memory gauges behave the same way: workers attached to a
+    #: shared arena would sum its bytes once per worker.
+    GAUGE_FIELDS = ("top_level_bits", "callgraph_edges",
+                    "interner_entries", "union_cache_entries",
+                    "batch_cache_entries", "dedup_resident_bytes",
+                    "arena_masks", "arena_resident_bytes")
 
     @classmethod
     def merge(cls, parts: "List[SolverStats]") -> "SolverStats":
@@ -134,6 +158,7 @@ class SolverStats:
         merged.analysis = parts[0].analysis
         merged.delta_kernel = all(p.delta_kernel for p in parts)
         merged.ptrepo_enabled = all(p.ptrepo_enabled for p in parts)
+        merged.mde_batch = all(p.mde_batch for p in parts)
         for name in cls.ADDITIVE_FIELDS:
             setattr(merged, name, sum(getattr(p, name) for p in parts))
         for name in cls.GAUGE_FIELDS:
@@ -155,6 +180,10 @@ class SolverStats:
     def union_cache_hit_rate(self) -> float:
         calls = self.union_cache_hits + self.union_cache_misses
         return self.union_cache_hits / calls if calls else 0.0
+
+    def batch_memo_hit_rate(self) -> float:
+        calls = self.batch_memo_hits + self.batch_memo_misses
+        return self.batch_memo_hits / calls if calls else 0.0
 
 
 class FlowSensitiveResult:
@@ -216,6 +245,13 @@ class StagedSolverBase:
       entries hold dense :class:`~repro.datastructs.ptrepo.PTRepo` ids
       instead of raw masks, so byte-identical sets are stored once and
       repeated unions hit a memoised cache.
+
+    On top of ``ptrepo`` sits the multi-level dedup engine
+    (:class:`~repro.datastructs.mde.MdeEngine`): passing ``mde`` makes
+    this solver share its interner, batch memo and arena with other
+    solvers built over the same engine (the degradation ladder's rungs),
+    and ``mde_batch`` ablates the propagation-batch memo alone.  All of
+    it is bit-identity-preserving — only recomputation is avoided.
     """
 
     analysis_name = "base"
@@ -226,7 +262,9 @@ class StagedSolverBase:
                   StoreInst, CallInst, RetInst)
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None, checkpointer=None, ctx=None):
+                 meter=None, faults=None, checkpointer=None, ctx=None,
+                 mde: Optional[MdeEngine] = None,
+                 mde_batch: Optional[bool] = None):
         if ctx is not None:
             # Engine path: governance defaults come from the StageContext
             # instead of per-constructor keyword threading; explicit
@@ -234,6 +272,9 @@ class StagedSolverBase:
             meter = ctx.meter if meter is None else meter
             faults = ctx.faults if faults is None else faults
             checkpointer = ctx.checkpointer if checkpointer is None else checkpointer
+            mde = getattr(ctx, "mde", None) if mde is None else mde
+            if mde_batch is None:
+                mde_batch = getattr(ctx, "mde_batch", None)
         self.svfg = svfg
         self.module = svfg.module
         self.andersen = svfg.andersen
@@ -241,7 +282,27 @@ class StagedSolverBase:
         self.pt: List[int] = [0] * len(self.module.variables)
         self.callgraph = CallGraph(self.module)
         self.delta = bool(delta)
-        self.ptrepo: Optional[PTRepo] = PTRepo() if ptrepo else None
+        # Dedup stack: the repo always comes from an MdeEngine so ladder
+        # rungs handed the same engine hash-cons into one interner; the
+        # batch memo is on by default and ablated via mde_batch=False.
+        if ptrepo:
+            self.mde: Optional[MdeEngine] = mde if mde is not None else MdeEngine()
+            self.ptrepo: Optional[PTRepo] = self.mde.repo
+            use_batch = True if mde_batch is None else bool(mde_batch)
+            self.batch: Optional[BatchMemo] = self.mde.batch if use_batch else None
+        else:
+            self.mde = None
+            self.ptrepo = None
+            self.batch = None
+        # A shared engine's counters accumulate across the rungs solved
+        # on it; remember where they stood when *this* solver started so
+        # its stats stay per-solve.
+        self._repo_counter_base = ((self.ptrepo.union_hits,
+                                    self.ptrepo.union_misses)
+                                   if self.ptrepo is not None else (0, 0))
+        self._batch_counter_base = ((self.batch.hits, self.batch.misses)
+                                    if self.batch is not None else (0, 0))
+        self._batch_baseline = (0, 0)  # pre-resume batch-memo hits/misses
         # Resource governance (repro.runtime): a BudgetMeter ticked once
         # per worklist pop, and a FaultPlan fired at the instrumented
         # trigger points.  Both default to None, leaving the hot loops of
@@ -260,6 +321,7 @@ class StagedSolverBase:
             analysis=self.analysis_name,
             delta_kernel=self.delta,
             ptrepo_enabled=ptrepo,
+            mde_batch=self.batch is not None,
         )
         # Worklist of SVFG node ids with O(1) dedup; the delta kernel's
         # variant additionally carries per-(node, object) dirty masks.
@@ -419,6 +481,8 @@ class StagedSolverBase:
         from repro.store.codec import snapshot_call_edges, snapshot_fields
 
         stats = self.stats
+        union_hits, union_misses = self._union_counters()
+        batch_hits, batch_misses = self._batch_counters()
         return {
             "pt": [format(mask, "x") for mask in self.pt],
             "worklist": self.worklist.snapshot(),
@@ -432,14 +496,15 @@ class StagedSolverBase:
                 "strong_updates": stats.strong_updates,
                 "weak_updates": stats.weak_updates,
                 "indirect_calls_resolved": stats.indirect_calls_resolved,
-                # Union-cache tallies live on the repo, whose snapshot is
-                # deliberately content-only; carrying them here keeps the
-                # cumulative hit/miss counters consistent with the
-                # cumulative ``unions`` across a resume.
-                "union_cache_hits": (self.ptrepo.union_hits
-                                     if self.ptrepo is not None else 0),
-                "union_cache_misses": (self.ptrepo.union_misses
-                                       if self.ptrepo is not None else 0),
+                # Union-cache and batch-memo tallies live on the repo /
+                # engine, whose snapshots are deliberately content-only;
+                # carrying the cumulative per-solve figures here keeps
+                # them consistent with the cumulative ``unions`` across
+                # a resume.
+                "union_cache_hits": union_hits,
+                "union_cache_misses": union_misses,
+                "batch_memo_hits": batch_hits,
+                "batch_memo_misses": batch_misses,
             },
         }
 
@@ -479,6 +544,8 @@ class StagedSolverBase:
             # cache numbers matching the cumulative union count.
             self._union_baseline = (counters.get("union_cache_hits", 0),
                                     counters.get("union_cache_misses", 0))
+            self._batch_baseline = (counters.get("batch_memo_hits", 0),
+                                    counters.get("batch_memo_misses", 0))
         except CheckpointError:
             raise
         except (KeyError, ValueError, TypeError, IndexError, AttributeError) as err:
@@ -518,6 +585,28 @@ class StagedSolverBase:
     def _restore_memory(self, mem: Dict[str, object]) -> None:
         """Hook: inverse of ``_snapshot_memory``."""
         raise NotImplementedError
+
+    def _rebind_mde(self) -> None:
+        """Re-key the dedup layers after ``self.ptrepo`` was swapped.
+
+        Both memo layers are keyed by one repository instance's dense
+        ids; a checkpoint restore installs a repository rebuilt from the
+        snapshot, whose ids share nothing with the previous repo, any
+        engine peer, or any arena record positions.  Consulting a stale
+        memo (or flushing to a stale arena) would alias unrelated sets,
+        so the restored solver gets a private engine over the restored
+        repo — warm sharing simply starts over, correctness first.
+        Subclass ``_restore_memory`` implementations must call this
+        right after swapping the repo in.
+        """
+        if self.ptrepo is None:
+            return
+        use_batch = self.batch is not None
+        self.mde = MdeEngine(repo=self.ptrepo)
+        self.batch = self.mde.batch if use_batch else None
+        # The fresh repo's live counters start at zero.
+        self._repo_counter_base = (0, 0)
+        self._batch_counter_base = (0, 0)
 
     def _process(self, node: SVFGNode, dirty: Optional[Dict[int, int]] = None) -> None:
         """Apply *node*'s transfer rule.
@@ -636,6 +725,26 @@ class StagedSolverBase:
 
     # --------------------------------------------------------------- helpers
 
+    def _union_counters(self) -> Tuple[int, int]:
+        """This solve's cumulative union-cache (hits, misses): any
+        pre-resume baseline plus the shared repo's growth since this
+        solver was constructed."""
+        base_hits, base_misses = self._union_baseline
+        if self.ptrepo is None:
+            return base_hits, base_misses
+        hits0, misses0 = self._repo_counter_base
+        return (base_hits + self.ptrepo.union_hits - hits0,
+                base_misses + self.ptrepo.union_misses - misses0)
+
+    def _batch_counters(self) -> Tuple[int, int]:
+        """This solve's cumulative batch-memo (hits, misses)."""
+        base_hits, base_misses = self._batch_baseline
+        if self.batch is None:
+            return base_hits, base_misses
+        hits0, misses0 = self._batch_counter_base
+        return (base_hits + self.batch.hits - hits0,
+                base_misses + self.batch.misses - misses0)
+
     def _finish_footprint(self, entries) -> None:
         """Fill storage stats from every stored table entry (id or mask).
 
@@ -658,10 +767,21 @@ class StagedSolverBase:
         self.stats.unique_ptsets = len(seen)
         self.stats.unique_ptset_bits = sum(count_bits(mask) for mask in seen)
         if self.ptrepo is not None:
-            base_hits, base_misses = self._union_baseline
-            self.stats.union_cache_hits = base_hits + self.ptrepo.union_hits
-            self.stats.union_cache_misses = (base_misses
-                                             + self.ptrepo.union_misses)
+            stats = self.stats
+            stats.union_cache_hits, stats.union_cache_misses = \
+                self._union_counters()
+            stats.batch_memo_hits, stats.batch_memo_misses = \
+                self._batch_counters()
+            repo = self.ptrepo
+            stats.interner_entries = repo.size
+            stats.union_cache_entries = repo.union_cache_size
+            stats.batch_cache_entries = (self.batch.entries
+                                         if self.batch is not None else 0)
+            stats.dedup_resident_bytes = repo.content_bytes()
+            arena = self.mde.arena if self.mde is not None else None
+            if arena is not None:
+                stats.arena_masks = len(arena)
+                stats.arena_resident_bytes = arena.resident_bytes
 
     def strong_update_target(self, ptr_mask: int) -> Optional[int]:
         """If a store through *ptr_mask* may strong-update, the object id.

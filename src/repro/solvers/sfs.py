@@ -36,9 +36,11 @@ class SFSAnalysis(StagedSolverBase):
     analysis_name = "sfs"
 
     def __init__(self, svfg: SVFG, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None, checkpointer=None, ctx=None):
+                 meter=None, faults=None, checkpointer=None, ctx=None,
+                 mde=None, mde_batch=None):
         super().__init__(svfg, delta=delta, ptrepo=ptrepo, meter=meter,
-                         faults=faults, checkpointer=checkpointer, ctx=ctx)
+                         faults=faults, checkpointer=checkpointer, ctx=ctx,
+                         mde=mde, mde_batch=mde_batch)
         # IN/OUT maps, lazily created per node id: {obj id -> entry}, where
         # an entry is a PTRepo id (ptrepo on) or a raw mask (ptrepo off).
         self.in_sets: Dict[int, Dict[int, int]] = {}
@@ -59,6 +61,13 @@ class SFSAnalysis(StagedSolverBase):
         Under the delta kernel *mask* is just the newly grown bits; only
         the part a successor has not seen is merged and forwarded, so no
         union is applied (or counted) for already-known information.
+
+        With the batch memo on, the whole per-successor step — "what does
+        this entry become under this delta, and what grew?" — is one
+        ``BatchMemo.apply`` lookup keyed by (entry id, delta id).  The
+        mask is interned once per call, so the k successors sharing an
+        entry id cost one recomputation at most, and a batch any node
+        anywhere already executed costs none.
         """
         if not mask:
             return
@@ -69,44 +78,73 @@ class SFSAnalysis(StagedSolverBase):
         if faults is not None:
             faults.fire("propagate", self.analysis_name)
         repo = self.ptrepo
+        batch = self.batch
         stats = self.stats
         in_sets = self.in_sets
         unions = 0
         if self.delta:
             push_delta = self.worklist.push_delta
-            for succ in succs:
-                in_set = in_sets.get(succ)
-                if in_set is None:
-                    in_set = in_sets[succ] = {}
-                entry = in_set.get(oid, 0)
-                old = repo.mask(entry) if repo is not None else entry
-                added = mask & ~old
-                if added:
-                    unions += 1
+            if batch is not None:
+                mask_id = repo.intern(mask)
+                for succ in succs:
+                    in_set = in_sets.get(succ)
+                    if in_set is None:
+                        in_set = in_sets[succ] = {}
+                    new, added_id = batch.apply(in_set.get(oid, 0), mask_id)
+                    if added_id:
+                        unions += 1
+                        if faults is not None:
+                            faults.fire("ptrepo_union", self.analysis_name)
+                        in_set[oid] = new
+                        push_delta(succ, oid, repo.mask(added_id))
+            else:
+                for succ in succs:
+                    in_set = in_sets.get(succ)
+                    if in_set is None:
+                        in_set = in_sets[succ] = {}
+                    entry = in_set.get(oid, 0)
+                    old = repo.mask(entry) if repo is not None else entry
+                    added = mask & ~old
+                    if added:
+                        unions += 1
+                        if repo is not None:
+                            if faults is not None:
+                                faults.fire("ptrepo_union", self.analysis_name)
+                            in_set[oid] = repo.union_mask(entry, added)
+                        else:
+                            in_set[oid] = old | added
+                        push_delta(succ, oid, added)
+        else:
+            push = self.worklist.push
+            if batch is not None:
+                mask_id = repo.intern(mask)
+                for succ in succs:
+                    in_set = in_sets.get(succ)
+                    if in_set is None:
+                        in_set = in_sets[succ] = {}
+                    unions += 1  # eager: a union is applied per target
+                    if faults is not None:
+                        faults.fire("ptrepo_union", self.analysis_name)
+                    new, added_id = batch.apply(in_set.get(oid, 0), mask_id)
+                    if added_id:
+                        in_set[oid] = new
+                        push(succ)
+            else:
+                for succ in succs:
+                    in_set = in_sets.get(succ)
+                    if in_set is None:
+                        in_set = in_sets[succ] = {}
+                    unions += 1  # eager: a union is applied per target
+                    entry = in_set.get(oid, 0)
                     if repo is not None:
                         if faults is not None:
                             faults.fire("ptrepo_union", self.analysis_name)
-                        in_set[oid] = repo.union_mask(entry, added)
+                        new = repo.union_mask(entry, mask)
                     else:
-                        in_set[oid] = old | added
-                    push_delta(succ, oid, added)
-        else:
-            push = self.worklist.push
-            for succ in succs:
-                in_set = in_sets.get(succ)
-                if in_set is None:
-                    in_set = in_sets[succ] = {}
-                unions += 1  # eager: a union is applied per target
-                entry = in_set.get(oid, 0)
-                if repo is not None:
-                    if faults is not None:
-                        faults.fire("ptrepo_union", self.analysis_name)
-                    new = repo.union_mask(entry, mask)
-                else:
-                    new = entry | mask
-                if new != entry:
-                    in_set[oid] = new
-                    push(succ)
+                        new = entry | mask
+                    if new != entry:
+                        in_set[oid] = new
+                        push(succ)
         stats.propagations += len(succs)
         stats.unions += unions
 
@@ -129,12 +167,19 @@ class SFSAnalysis(StagedSolverBase):
         in_set = self.in_sets.get(node.id)
         if in_set is None:
             return
-        entry_mask = self._entry_mask
-        mask = 0
-        for oid in iter_bits(ptr_mask):
-            entry = in_set.get(oid)
-            if entry:
-                mask |= entry_mask(entry)
+        batch = self.batch
+        if batch is not None:
+            # The n-way gather over the pointees' entry ids is itself a
+            # recurring batch (every load over the same IN entries).
+            mask = batch.gather_mask(
+                in_set.get(oid, 0) for oid in iter_bits(ptr_mask))
+        else:
+            entry_mask = self._entry_mask
+            mask = 0
+            for oid in iter_bits(ptr_mask):
+                entry = in_set.get(oid)
+                if entry:
+                    mask |= entry_mask(entry)
         if mask:
             self.set_pt(inst.dst, mask)
 
@@ -145,6 +190,7 @@ class SFSAnalysis(StagedSolverBase):
         su_oid = self.strong_update_target(ptr_mask)
         out_set = self.out_sets.setdefault(node.id, {})
         repo = self.ptrepo
+        batch = self.batch
         if dirty is not None:
             # Only IN grew: the gen set and pointer are unchanged, so each
             # dirty object's delta flows straight through OUT (unless this
@@ -155,6 +201,16 @@ class SFSAnalysis(StagedSolverBase):
                 if self.defers_passthrough(ptr_mask, oid):
                     continue  # deferred until pt(ptr) resolves (full revisit)
                 entry = out_set.get(oid, 0)
+                if batch is not None:
+                    new, added_id = batch.apply(entry, repo.intern(delta))
+                    if not added_id:
+                        continue
+                    self.stats.unions += 1
+                    if ptr_mask >> oid & 1:
+                        self.stats.weak_updates += 1
+                    out_set[oid] = new
+                    self._propagate(node.id, oid, repo.mask(added_id))
+                    continue
                 old = repo.mask(entry) if repo is not None else entry
                 added = delta & ~old
                 if not added:
@@ -188,6 +244,19 @@ class SFSAnalysis(StagedSolverBase):
             else:
                 out = incoming  # pass-through
             entry = out_set.get(oid, 0)
+            if batch is not None:
+                new, added_id = batch.apply(entry, repo.intern(out))
+                if self.delta:
+                    if not added_id:
+                        continue
+                    self.stats.unions += 1
+                    out_set[oid] = new
+                    self._propagate(node.id, oid, repo.mask(added_id))
+                else:
+                    self.stats.unions += 1  # eager: union applied every visit
+                    out_set[oid] = new
+                    self._propagate(node.id, oid, repo.mask(new))
+                continue
             old = entry_mask(entry)
             added = out & ~old  # monotone: already-propagated stays
             if self.delta:
@@ -259,6 +328,7 @@ class SFSAnalysis(StagedSolverBase):
                 raise CheckpointError(
                     "checkpoint lacks the ptrepo interning table")
             self.ptrepo = PTRepo.from_snapshot(mem["repo"])
+            self._rebind_mde()  # memo keys/arena positions are per-repo
 
         def decode(sets: Dict[str, Dict[str, str]]) -> Dict[int, Dict[int, int]]:
             return {

@@ -129,6 +129,14 @@ class ResultStore:
     def entry_path(self, key: str) -> str:
         return os.path.join(self.directory, f"result-{key}.json")
 
+    @property
+    def arena_path(self) -> str:
+        """Where this store keeps the shared mask arena (see
+        :class:`~repro.datastructs.arena.PTArena`).  Deliberately not part
+        of :func:`result_key`: the arena is a pure intern cache and never
+        changes what a solve computes."""
+        return os.path.join(self.directory, "arena.bin")
+
     # ---------------------------------------------------------------- writing
 
     def put(self, module: Module, analysis: str, delta: bool, ptrepo: bool,

@@ -1,0 +1,109 @@
+"""The memory-mapped mask arena: format, append/attach, corruption."""
+
+import os
+import struct
+
+import pytest
+
+from repro.datastructs.arena import HEADER_SIZE, MAGIC, ArenaError, PTArena
+
+
+class TestArenaFormat:
+    def test_open_creates_empty_arena_with_record_zero(self, tmp_path):
+        path = str(tmp_path / "arena.bin")
+        arena = PTArena.open(path)
+        try:
+            assert len(arena) == 1  # record 0 = the empty set
+            assert arena.mask(0) == 0
+            assert arena.resident_bytes == HEADER_SIZE + 4
+        finally:
+            arena.close()
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        magic, count, used = struct.unpack_from("<8sQQ", raw)
+        assert magic == MAGIC and count == 1 and used == 4
+
+    def test_append_then_reopen_round_trips(self, tmp_path):
+        path = str(tmp_path / "arena.bin")
+        masks = [0b101, 0b1, (1 << 200) | 7, 0b11110000]
+        arena = PTArena.open(path)
+        try:
+            assert arena.append_masks(masks) == len(masks)
+        finally:
+            arena.close()
+        arena = PTArena.open(path)
+        try:
+            assert len(arena) == 1 + len(masks)
+            assert list(arena.masks()) == [0] + masks
+        finally:
+            arena.close()
+
+    def test_attach_is_read_only(self, tmp_path):
+        path = str(tmp_path / "arena.bin")
+        writer = PTArena.open(path)
+        writer.append_masks([0b11])
+        writer.close()
+        reader = PTArena.attach(path)
+        try:
+            assert list(reader.masks()) == [0, 0b11]
+            with pytest.raises(ArenaError):
+                reader.append_masks([0b100])
+        finally:
+            reader.close()
+
+    def test_attach_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            PTArena.attach(str(tmp_path / "absent.bin"))
+
+
+class TestArenaCorruption:
+    def _fresh(self, tmp_path, masks=(0b1, 0b10)):
+        path = str(tmp_path / "arena.bin")
+        arena = PTArena.open(path)
+        arena.append_masks(list(masks))
+        arena.close()
+        return path
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self._fresh(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.write(b"NOTANARE")
+        with pytest.raises(ArenaError):
+            PTArena.attach(path)
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = self._fresh(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        with pytest.raises(ArenaError):
+            PTArena.attach(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = self._fresh(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(HEADER_SIZE - 1)
+        with pytest.raises(ArenaError):
+            PTArena.attach(path)
+
+    def test_unflushed_tail_past_used_is_ignored(self, tmp_path):
+        """Records are appended before the header is rewritten, so a
+        crash between the two leaves trailing bytes past ``used`` —
+        readers must treat the header as the truth and ignore them."""
+        path = self._fresh(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<I", 1) + b"\x07")  # orphan record
+        arena = PTArena.attach(path)
+        try:
+            assert list(arena.masks()) == [0, 0b1, 0b10]
+        finally:
+            arena.close()
+
+    def test_append_after_reopen_extends_in_place(self, tmp_path):
+        path = self._fresh(tmp_path, masks=[0b1])
+        arena = PTArena.open(path)
+        try:
+            arena.append_masks([0b110])
+            assert list(arena.masks()) == [0, 0b1, 0b110]
+        finally:
+            arena.close()

@@ -136,10 +136,20 @@ class TestJSONExport:
             assert stats["unions"] > 0
             assert stats["delta_kernel"] is True and stats["ptrepo_enabled"] is True
             # The repository's whole point: far fewer unique sets than
-            # references to them, almost all unions served from cache.
+            # references to them, almost all unions served from a memo —
+            # the batch memo intercepts repeat (entry, delta) applications
+            # before they ever reach the pairwise union cache, so the two
+            # layers are judged together.
             assert 0 < stats["unique_ptsets"] < stats["stored_ptsets"]
             assert stats["dedup_ratio"] > 1.0
-            assert stats["union_cache_hit_rate"] > 0.5
+            memo_hits = stats["union_cache_hits"] + stats["batch_memo_hits"]
+            memo_calls = (memo_hits + stats["union_cache_misses"]
+                          + stats["batch_memo_misses"])
+            assert memo_calls > 0 and memo_hits / memo_calls > 0.5
+            assert stats["mde_batch"] is True
+            assert stats["batch_memo_hits"] > 0
+            assert stats["interner_entries"] > 0
+            assert stats["dedup_resident_bytes"] > 0
         assert record["ratios"]["propagation_ratio"] > 1.0
 
     def test_runner_main_writes_json(self, tmp_path, capsys):
