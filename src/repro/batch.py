@@ -3,9 +3,13 @@
 Runs one ``repro-wpa`` subprocess per program so a crash (OOM kill,
 segfault, interpreter abort) takes down only that program's attempt, never
 the batch.  The supervisor enforces a per-attempt wall-clock timeout,
-kills overrunning workers, and retries with exponential backoff — each
-retry passes ``--resume`` so the worker continues from the last
-checkpoint instead of starting over.  Non-final attempts run with
+kills overrunning workers, and retries on the shared
+:class:`~repro.runtime.resilience.RetryPolicy` — exponential backoff
+with deterministic jitter seeded per program file, so ``--jobs N``
+workers that failed together spread their wakeups apart instead of
+retrying in lockstep (and two runs of the same batch still sleep the
+same schedule).  Each retry passes ``--resume`` so the worker continues
+from the last checkpoint instead of starting over.  Non-final attempts run with
 ``--no-fallback``: a budget trip then checkpoints and exits 3 rather than
 silently degrading, keeping the precise answer reachable across retries.
 Only the final attempt may walk the degradation ladder (unless the batch
@@ -31,6 +35,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
 
+from repro.runtime.resilience import RetryPolicy
 from repro.store.atomic import atomic_write_json
 
 #: CLI mode flag per analysis name.
@@ -77,8 +82,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="retries after the first attempt (default 2)")
     parser.add_argument("--backoff", type=float, default=0.5, metavar="S",
-                        help="base retry delay, doubled per retry "
-                             "(default 0.5s)")
+                        help="base retry delay, doubled per retry with "
+                             "deterministic per-file jitter (default 0.5s)")
+    parser.add_argument("--backoff-jitter", type=float, default=0.25,
+                        metavar="F",
+                        help="fraction of each retry delay randomised away, "
+                             "seeded per program file (default 0.25; 0 "
+                             "restores the fixed schedule)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="programs analysed concurrently (default 1)")
     parser.add_argument("--solve-jobs", type=int, default=1, metavar="N",
@@ -175,10 +185,16 @@ def _run_program(args: argparse.Namespace, env: Dict[str, str],
                               "attempts": [], "status": "failed",
                               "resume_count": 0}
     total_attempts = 1 + max(0, args.retries)
+    # Deterministic seeded jitter, keyed per file: concurrent programs
+    # that failed at the same instant wake apart instead of in lockstep,
+    # and re-running the batch reproduces the identical schedule.
+    backoff = RetryPolicy(retries=total_attempts, base_delay=args.backoff,
+                          multiplier=2.0, max_delay=None,
+                          jitter=args.backoff_jitter).seeded_for(file)
     for attempt in range(total_attempts):
         final = attempt == total_attempts - 1
         if attempt:
-            time.sleep(args.backoff * (2 ** (attempt - 1)))
+            time.sleep(backoff.delay(attempt))
             record["resume_count"] += 1 if ckdir is not None else 0
         cmd = _attempt_cmd(args, file, ckdir, report_json,
                            resume=attempt > 0 and ckdir is not None,

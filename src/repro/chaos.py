@@ -1,0 +1,413 @@
+"""``repro-wpa chaos`` — seeded fault-injection soak harness.
+
+Proves the platform-wide resilience contract (DESIGN.md §12) the way a
+single targeted test cannot: for every configuration in ``{sfs, vsfs} ×
+{serial, --jobs N}`` it runs a fault-free baseline, then replays the
+same analysis under a deterministic schedule of injected faults — one
+seeded :class:`~repro.runtime.faults.FaultPlan` per run, cycling through
+every fault point applicable to the configuration.  Each faulted run
+must end in one of four **clean** outcomes:
+
+- ``identical`` — the fault was absorbed (self-healed or retried) and
+  the points-to result is bit-identical to the baseline;
+- ``collapsed`` — a parallel rung spent its worker failure budget and
+  collapsed onto its serial twin: degraded execution, bit-identical
+  result (``precision_lost`` is False);
+- ``degraded`` — a solver-domain fault walked the precision ladder; the
+  answer is a verified sound *superset* of the baseline;
+- ``typed-failure`` — fallback was disabled and the run died with a
+  typed :class:`~repro.errors.ReproError` (exit code territory, never a
+  traceback).
+
+Anything else — wrong masks, an unsound "degraded" answer, an untyped
+exception — is ``garbage`` and fails the soak (exit 3).  Seeds are fixed
+and the fault plans deterministic, so a failing seed is replayable
+bit-for-bit.
+
+Schedules interleave three trigger shapes per seed index: ``once``
+(fire on the first hit, then disarm — the heal-and-complete path),
+``repeat`` (fire on every hit — retry budgets exhaust, worker budgets
+spend, ladders walk), and ``no-fallback`` (solver faults with the
+ladder disabled — the typed-failure path).
+
+The default program is the generated ``du`` suite workload — the
+smallest benchmark with real call/heap structure, known to shard across
+workers — so every fault point is actually reachable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InjectedFault, ReproError
+from repro.runtime.faults import FAULT_DOMAINS, fault_domain
+
+#: Points a serial configuration can reach (parallel transport excluded).
+SERIAL_POINTS: Tuple[str, ...] = (FAULT_DOMAINS["solver"]
+                                  + FAULT_DOMAINS["io"])
+
+#: Points a --jobs N configuration targets.  Parallel points first so
+#: small seed counts still cover the watchdog; solver points are owned
+#: by the serial configurations (worker processes run their own solve
+#: loops, out of reach of the driver-side plan).
+PARALLEL_POINTS: Tuple[str, ...] = (FAULT_DOMAINS["parallel"]
+                                    + FAULT_DOMAINS["io"])
+
+#: Offset stride between configurations' point cycles: staggers which
+#: points each configuration exercises so the default 8-seed matrix
+#: covers the full table (asserted by ``--require-coverage``).
+_OFFSET_STRIDE = 3
+
+
+class ChaosRun:
+    """One scheduled faulted run and (after execution) its verdict."""
+
+    def __init__(self, analysis: str, jobs: int, seed: int, point: str,
+                 trigger: str):
+        self.analysis = analysis
+        self.jobs = jobs
+        self.seed = seed
+        self.point = point
+        self.trigger = trigger  # "once" | "repeat" | "no-fallback"
+        self.outcome = ""  # identical|collapsed|degraded|typed-failure|garbage
+        self.detail = ""
+        self.fired = 0
+        self.heals = 0
+        self.degraded_from: Optional[str] = None
+
+    @property
+    def domain(self) -> str:
+        return fault_domain(self.point)
+
+    @property
+    def config(self) -> str:
+        return f"{self.analysis}/j{self.jobs}"
+
+    def describe(self) -> str:
+        verdict = self.outcome or "pending"
+        extra = f" ({self.detail})" if self.detail else ""
+        return (f"{self.config} seed={self.seed} {self.point} "
+                f"[{self.trigger}] -> {verdict}{extra}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "analysis": self.analysis,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "point": self.point,
+            "domain": self.domain,
+            "trigger": self.trigger,
+            "outcome": self.outcome,
+            "detail": self.detail or None,
+            "fired": self.fired,
+            "heals": self.heals,
+            "degraded_from": self.degraded_from,
+        }
+
+
+def _trigger_for(index: int, point: str) -> str:
+    """Deterministic trigger shape for the *index*-th seed of a config.
+
+    Every fourth seed repeat-fires (budget exhaustion paths); every
+    fourth, offset by one, disables fallback — but only for solver
+    points, whose contract under ``fallback=False`` is a typed raise
+    (io/parallel faults are absorbed regardless of fallback).
+    """
+    if index % 4 == 2:
+        return "repeat"
+    if index % 4 == 3 and fault_domain(point) == "solver":
+        return "no-fallback"
+    return "once"
+
+
+def build_schedule(analyses: List[str], jobs_list: List[int], seeds: int,
+                   seed_base: int) -> List[ChaosRun]:
+    """The full deterministic run matrix, in execution order."""
+    runs: List[ChaosRun] = []
+    configs = [(analysis, jobs) for jobs in jobs_list for analysis in analyses]
+    for config_index, (analysis, jobs) in enumerate(configs):
+        points = PARALLEL_POINTS if jobs > 1 else SERIAL_POINTS
+        offset = config_index * _OFFSET_STRIDE
+        for index in range(seeds):
+            point = points[(index + offset) % len(points)]
+            runs.append(ChaosRun(analysis, jobs, seed_base + index, point,
+                                 _trigger_for(index, point)))
+    return runs
+
+
+# ---------------------------------------------------------------- execution
+
+def _build_pipeline(source: str, workdir: str, plan):
+    from repro.engine import StageCache
+    from repro.pipeline import AnalysisPipeline
+    from repro.store import ResultStore
+
+    store = ResultStore(os.path.join(workdir, "results"))
+    cache = StageCache(os.path.join(workdir, "stages"))
+    pipeline = AnalysisPipeline.from_source(
+        source, cache=cache, arena_path=store.arena_path, faults=plan)
+    return pipeline, store
+
+
+def _resilient_put(store, pipeline, analysis: str, result, plan) -> None:
+    """Store the result, exercising the ``result_store_put`` point the
+    way the CLI does: retry transient failures, then skip — a lost cache
+    entry never loses a computed answer."""
+    from repro.engine.events import heal_event
+    from repro.runtime.resilience import IO_RETRY
+
+    if result.report.precision_lost:
+        return  # mirrors the CLI: an imprecise answer is never admitted
+    bus = pipeline.engine.ctx.bus
+
+    def on_retry(attempt: int, exc: BaseException) -> None:
+        bus.emit(heal_event(f"store:{analysis}", "io", "retry",
+                            point="result_store_put", attempt=attempt,
+                            error=type(exc).__name__))
+
+    try:
+        IO_RETRY.run(
+            lambda: store.put(pipeline.module, analysis, True, True, result,
+                              faults=plan),
+            retry_on=(OSError, InjectedFault), on_retry=on_retry)
+    except (OSError, InjectedFault) as exc:
+        bus.emit(heal_event(f"store:{analysis}", "io", "skip-write",
+                            point="result_store_put",
+                            error=type(exc).__name__))
+
+
+def _solve(source: str, analysis: str, jobs: int, mode: Optional[str],
+           workdir: str, plan=None, fallback: bool = True):
+    """One governed run in *workdir*; returns (result, pipeline, store)."""
+    from repro.runtime.checkpoint import CheckpointConfig
+    from repro.runtime.degrade import solve_with_ladder
+
+    pipeline, store = _build_pipeline(source, workdir, plan)
+    ladder = analysis + "-par" if jobs > 1 else analysis
+    checkpoint = CheckpointConfig(os.path.join(workdir, "checkpoints"),
+                                  every_steps=25)
+    result = solve_with_ladder(pipeline, analysis=ladder, fallback=fallback,
+                               faults=plan, checkpoint=checkpoint,
+                               jobs=jobs, parallel_mode=mode)
+    _resilient_put(store, pipeline, analysis, result, plan)
+    return result, pipeline, store
+
+
+def _make_plan(run: ChaosRun):
+    from repro.runtime.faults import FaultPlan
+
+    if run.trigger == "repeat":
+        return FaultPlan(point=run.point, probability=1.0, seed=run.seed,
+                         once=False)
+    return FaultPlan(point=run.point, at_hit=1, seed=run.seed, once=True)
+
+
+def _sound_superset(baseline: List[int], masks: List[int]) -> bool:
+    """Degrading may only ADD may-point-to facts, never drop any."""
+    if len(baseline) != len(masks):
+        return False
+    return all(base & ~mask == 0 for base, mask in zip(baseline, masks))
+
+
+def execute_run(run: ChaosRun, source: str, mode: Optional[str],
+                config_dir: str, baseline_masks: List[int]) -> None:
+    """Execute one scheduled run and stamp its verdict on *run*."""
+    plan = _make_plan(run)
+    workdir = config_dir
+    if run.point == "stage_cache_write":
+        # Cache writes only happen on a cold store; a private directory
+        # keeps the shared warm store warm for the remaining seeds.
+        workdir = tempfile.mkdtemp(prefix="cold-", dir=config_dir)
+    try:
+        result, pipeline, _ = _solve(source, run.analysis, run.jobs, mode,
+                                     workdir, plan=plan,
+                                     fallback=run.trigger != "no-fallback")
+    except ReproError as exc:
+        run.outcome = "typed-failure"
+        run.detail = type(exc).__name__
+    except Exception as exc:  # noqa: BLE001 — garbage detector by design
+        run.outcome = "garbage"
+        run.detail = f"untyped {type(exc).__name__}: {exc}"
+    else:
+        report = result.report
+        run.heals = len(report.self_heal)
+        run.degraded_from = report.degraded_from
+        masks = list(result._pt)
+        if masks == baseline_masks and not report.precision_lost:
+            run.outcome = "collapsed" if report.degraded else "identical"
+        elif report.precision_lost and _sound_superset(baseline_masks, masks):
+            run.outcome = "degraded"
+            run.detail = f"to {report.precision_level}"
+        else:
+            run.outcome = "garbage"
+            run.detail = ("unsound degraded masks"
+                          if report.precision_lost else "masks diverged")
+    run.fired = len(plan.fired)
+    if not plan.fired and run.outcome == "identical":
+        run.detail = "not-reached"
+
+
+def _baseline(source: str, analysis: str, jobs: int, mode: Optional[str],
+              workdir: str) -> List[int]:
+    """Fault-free reference masks; also warms the store for the seeds."""
+    result, _, _ = _solve(source, analysis, jobs, mode, workdir)
+    report = result.report
+    if report.degraded or report.self_heal:
+        raise ReproError(
+            f"chaos baseline for {analysis}/j{jobs} was not clean: "
+            f"{report.summary()} ({len(report.self_heal)} heals)")
+    return list(result._pt)
+
+
+# ------------------------------------------------------------------ driver
+
+def _default_source() -> str:
+    from repro.bench.workloads import SUITE, generate_source
+
+    return generate_source(SUITE["du"])
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-wpa chaos``; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-wpa chaos",
+        description="Seeded fault-injection soak: every run must end "
+                    "bit-identical, verifiably degraded, or typed-failed "
+                    "- never garbage.")
+    parser.add_argument("--seeds", type=int, default=8, metavar="N",
+                        help="seeds per configuration (default 8)")
+    parser.add_argument("--seed-base", type=int, default=0, metavar="B",
+                        help="first seed value (default 0)")
+    parser.add_argument("--analyses", default="sfs,vsfs", metavar="LIST",
+                        help="comma-separated staged analyses "
+                             "(default sfs,vsfs)")
+    parser.add_argument("--jobs", default="1,2", metavar="LIST",
+                        help="comma-separated worker counts; 1 = serial "
+                             "(default 1,2)")
+    parser.add_argument("--parallel-mode", choices=("fork", "inline"),
+                        help="parallel transport override (default: the "
+                             "driver's choice)")
+    parser.add_argument("--program", metavar="FILE",
+                        help="mini-C source to soak (default: the "
+                             "generated 'du' suite workload)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the deterministic run schedule and "
+                             "exit without executing")
+    parser.add_argument("--require-coverage", action="store_true",
+                        help="fail (exit 3) unless every applicable fault "
+                             "point fired in at least one run")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the full soak record as JSON")
+    args = parser.parse_args(argv)
+
+    analyses = [a.strip() for a in args.analyses.split(",") if a.strip()]
+    for analysis in analyses:
+        if analysis not in ("sfs", "vsfs"):
+            print(f"repro-wpa chaos: error: unknown analysis {analysis!r} "
+                  f"(want sfs/vsfs)", file=sys.stderr)
+            return 1
+    try:
+        jobs_list = sorted({max(1, int(j)) for j in args.jobs.split(",") if j})
+    except ValueError:
+        print(f"repro-wpa chaos: error: --jobs wants integers, got "
+              f"{args.jobs!r}", file=sys.stderr)
+        return 1
+
+    runs = build_schedule(analyses, jobs_list, max(1, args.seeds),
+                          args.seed_base)
+    if args.list:
+        print(f"--- chaos schedule: {len(runs)} runs ---")
+        for run in runs:
+            print(f"  {run.config:<9} seed={run.seed:<3} "
+                  f"{run.point:<18} [{run.trigger}]")
+        return 0
+
+    if args.program is not None:
+        try:
+            with open(args.program) as handle:
+                source = handle.read()
+        except OSError as err:
+            print(f"repro-wpa chaos: error: {err}", file=sys.stderr)
+            return 1
+    else:
+        source = _default_source()
+
+    configs = [(analysis, jobs) for jobs in jobs_list for analysis in analyses]
+    print(f"--- chaos soak: {len(configs)} configs x {args.seeds} seeds "
+          f"= {len(runs)} runs ---")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        for analysis, jobs in configs:
+            config_dir = os.path.join(root, f"{analysis}-j{jobs}")
+            os.makedirs(config_dir, exist_ok=True)
+            try:
+                baseline = _baseline(source, analysis, jobs,
+                                     args.parallel_mode, config_dir)
+            except ReproError as err:
+                print(f"repro-wpa chaos: error: {err}", file=sys.stderr)
+                return 3
+            config_runs = [r for r in runs
+                           if r.analysis == analysis and r.jobs == jobs]
+            for run in config_runs:
+                execute_run(run, source, args.parallel_mode, config_dir,
+                            baseline)
+                print(f"  {run.describe()}")
+
+    return _report(runs, jobs_list, args)
+
+
+def _report(runs: List[ChaosRun], jobs_list: List[int],
+            args: argparse.Namespace) -> int:
+    counts: Dict[str, int] = {}
+    for run in runs:
+        counts[run.outcome] = counts.get(run.outcome, 0) + 1
+    garbage = [run for run in runs if run.outcome == "garbage"]
+
+    applicable = set(SERIAL_POINTS if 1 in jobs_list else ())
+    if any(jobs > 1 for jobs in jobs_list):
+        applicable.update(PARALLEL_POINTS)
+    exercised = {run.point for run in runs if run.fired}
+    missing = sorted(applicable - exercised)
+
+    summary = ", ".join(f"{kind}: {counts[kind]}" for kind in
+                        ("identical", "collapsed", "degraded",
+                         "typed-failure", "garbage") if kind in counts)
+    print(f"outcomes: {summary}")
+    print(f"coverage: {len(exercised)}/{len(applicable)} applicable fault "
+          f"points fired" + (f" (missing: {', '.join(missing)})"
+                             if missing else ""))
+
+    ok = not garbage and not (args.require_coverage and missing)
+    if garbage:
+        print(f"repro-wpa chaos: FAIL: {len(garbage)} garbage outcome(s):",
+              file=sys.stderr)
+        for run in garbage:
+            print(f"  {run.describe()}", file=sys.stderr)
+    elif not ok:
+        print("repro-wpa chaos: FAIL: coverage incomplete "
+              "(--require-coverage)", file=sys.stderr)
+    else:
+        print("chaos soak passed: no garbage outcomes")
+
+    if args.output:
+        from repro.store.atomic import atomic_write_json
+
+        atomic_write_json(args.output, {
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "runs": [run.to_dict() for run in runs],
+            "outcomes": counts,
+            "coverage": {"applicable": sorted(applicable),
+                         "exercised": sorted(exercised),
+                         "missing": missing},
+            "ok": ok,
+        })
+        print(f"chaos record written to {args.output}")
+    return 0 if ok else 3
+
+
+if __name__ == "__main__":
+    sys.exit(chaos_main())

@@ -23,11 +23,19 @@ artifacts (``DIR/stages``) so repeat runs skip unchanged substrate.
 ``--trace`` prints the per-stage breakdown (wall/steps/cache), with the
 substrate stages marked excluded from the timed main phase.
 ``repro-wpa batch ...`` runs a supervised multi-program batch (see
-:mod:`repro.batch`).
+:mod:`repro.batch`); ``repro-wpa chaos ...`` runs the seeded
+fault-injection soak harness (see :mod:`repro.chaos`);
+``--list-fault-points`` prints the injectable fault points by domain.
+
+Resilience: corrupt store/cache entries are quarantined and the answer
+recomputed (a warning, not a failure) unless ``--strict-io`` restores
+the fail-fast contract.  A parallel rung that collapses onto its serial
+twin reports ``degraded_from`` but keeps full precision, so the result
+is still stored and the message is a notice, not a warning.
 
 Exit codes: 0 success, 1 I/O error, 2 parse/IR error, 3 analysis error
-(including an exhausted budget under ``--no-fallback``, and any rejected
-or corrupt checkpoint/store artifact).
+(including an exhausted budget under ``--no-fallback``, and — under
+``--strict-io`` — any rejected or corrupt checkpoint/store artifact).
 """
 
 from __future__ import annotations
@@ -37,11 +45,12 @@ import sys
 import tracemalloc
 from typing import List, Optional
 
-from repro.errors import IRError, ParseError, ReproError
+from repro.errors import CheckpointError, IRError, ParseError, ReproError
 from repro.pipeline import AnalysisPipeline, _load_resume_state
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.degrade import solve_with_ladder
+from repro.runtime.resilience import IO_RETRY
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -87,6 +96,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-fallback", action="store_true",
                         help="fail with exit code 3 instead of degrading "
                              "down the ladder when the budget is exhausted")
+    parser.add_argument("--strict-io", action="store_true",
+                        help="fail (exit 3) on corrupt stage-cache/result-"
+                             "store entries instead of quarantining and "
+                             "recomputing (the pre-resilience contract)")
+    parser.add_argument("--list-fault-points", action="store_true",
+                        help="list the injectable fault points by domain "
+                             "and exit (see also `repro-wpa chaos`)")
     parser.add_argument("--report", action="store_true",
                         help="print the run report (attempts, budget "
                              "consumed, degradation)")
@@ -154,6 +170,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.batch import batch_main
 
         return batch_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos import chaos_main
+
+        return chaos_main(argv[1:])
+    if "--list-fault-points" in argv:
+        # Informational: valid without a program file, so intercept
+        # before argparse enforces the positional.
+        from repro.runtime.faults import describe_fault_points
+
+        print(describe_fault_points())
+        return 0
     args = build_arg_parser().parse_args(argv)
     if isinstance(args.resume, str) and args.resume.endswith((".c", ".ir")):
         # argparse greedily binds "--resume prog.c" as the PATH; a source
@@ -204,7 +231,8 @@ def _run(args: argparse.Namespace, source: str) -> int:
             arena_path = store.arena_path
     pipeline = AnalysisPipeline.from_source(
         source, language="ir" if args.ir else "c", cache=cache,
-        mde_batch=not args.no_mde_batch, arena_path=arena_path)
+        mde_batch=not args.no_mde_batch, arena_path=arena_path,
+        strict_cache=args.strict_io)
     module = pipeline.module
     delta, ptrepo = not args.no_delta, not args.no_ptrepo
 
@@ -231,7 +259,22 @@ def _run(args: argparse.Namespace, source: str) -> int:
         # report a cache hit for every substrate stage even when the final
         # result also comes straight from the result store.
         pipeline.engine.prime_substrate(args.analysis)
-        cached = store.get(module, args.analysis, delta, ptrepo)
+        try:
+            cached = store.get(module, args.analysis, delta, ptrepo)
+        except CheckpointError as err:
+            # Degraded-not-dead: the store already quarantined the bad
+            # entry; recompute the answer instead of dying.
+            if args.strict_io:
+                raise
+            from repro.engine.events import heal_event
+
+            pipeline.engine.ctx.bus.emit(heal_event(
+                f"solve:{args.analysis}", "io", "recompute",
+                point="result_store_get", error=type(err).__name__,
+                reason=err.reason, path=err.path))
+            print(f"repro-wpa: warning: corrupt result-store entry "
+                  f"quarantined ({err.path}); recomputing", file=sys.stderr)
+            cached = None
         if cached is not None:
             print(f"repro-wpa: result store hit ({store.last_path})",
                   file=sys.stderr)
@@ -267,14 +310,32 @@ def _run(args: argparse.Namespace, source: str) -> int:
         parallel_mode=args.parallel_mode,
     )
     run_report = result.report
-    if run_report.degraded:
+    if run_report.precision_lost:
         print(f"repro-wpa: warning: {run_report.summary()}", file=sys.stderr)
+    elif run_report.degraded:
+        # A parallel rung collapsed onto its serial twin: bit-identical
+        # result at full precision, so a notice rather than a warning.
+        print(f"repro-wpa: notice: {run_report.summary()} "
+              f"(bit-identical serial result)", file=sys.stderr)
     if run_report.resumed:
         print(f"repro-wpa: resumed from step {run_report.resumed_from_step}",
               file=sys.stderr)
-    if store is not None and not run_report.degraded:
-        path = store.put(module, args.analysis, delta, ptrepo, result)
-        print(f"repro-wpa: result stored at {path}", file=sys.stderr)
+    if store is not None and not run_report.precision_lost:
+        try:
+            path = IO_RETRY.run(
+                lambda: store.put(module, args.analysis, delta, ptrepo,
+                                  result))
+        except OSError as err:
+            from repro.engine.events import heal_event
+
+            pipeline.engine.ctx.bus.emit(heal_event(
+                f"solve:{args.analysis}", "io", "skip-write",
+                point="result_store_put", error=type(err).__name__))
+            print(f"repro-wpa: warning: result not stored "
+                  f"({type(err).__name__}: {err}); continuing",
+                  file=sys.stderr)
+        else:
+            print(f"repro-wpa: result stored at {path}", file=sys.stderr)
     _print_result(args, result, run_report)
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -332,7 +393,8 @@ def _write_report_json(path: str, run_report, store_hit: bool = False,
 
     payload = {"store_hit": store_hit,
                "report": run_report.to_dict() if run_report else None,
-               "stages": trace.to_dict() if trace is not None else None}
+               "stages": trace.to_dict() if trace is not None else None,
+               "self_heal": list(getattr(trace, "heals", []) or [])}
     atomic_write_json(path, payload)
 
 

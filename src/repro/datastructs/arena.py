@@ -102,6 +102,10 @@ class PTArena:
         which is what cuts the per-worker copy-on-write churn.
         """
         with open(path, "rb") as handle:
+            if os.fstat(handle.fileno()).st_size == 0:
+                # mmap rejects empty files with an untyped ValueError; a
+                # zero-truncated arena is malformed like any other.
+                raise ArenaError(f"arena {path} is empty")
             buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
         try:
             offsets, used = cls._scan(buf, path)

@@ -89,7 +89,12 @@ class StageCache:
                     f"entry mode {meta.get('mode')!r} does not match the "
                     f"stage's cache mode {stage.cache_mode!r}",
                     reason="config-mismatch", path=path)
-            nbytes = os.path.getsize(path)
+            try:
+                nbytes = os.path.getsize(path)
+            except OSError as err:
+                raise CheckpointError(
+                    f"entry vanished mid-lookup: {err}", reason="missing",
+                    path=path) from err
             if stage.cache_mode == "codec":
                 try:
                     artifact = stage.decode(ctx, payload)

@@ -16,9 +16,9 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.engine.context import StageContext
-from repro.engine.events import StageEvent, StageTrace
+from repro.engine.events import StageEvent, StageTrace, heal_event
 from repro.engine.stages import Stage, default_stages
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CheckpointError, InjectedFault
 
 
 class Engine:
@@ -55,6 +55,69 @@ class Engine:
 
     # -------------------------------------------------------------- substrate
 
+    def _cache_lookup(self, stage: Stage, fp: str) -> Any:
+        """Probe the stage cache, healing failed probes into misses.
+
+        The ``stage_cache_read`` fault point fires here.  A corrupt or
+        unreadable entry is quarantined by :class:`StageCache` itself;
+        unless the context runs in ``strict_cache`` mode, the failure is
+        absorbed as a ``self_heal``/``recompute`` event and the probe
+        degrades to a miss — the stage simply rebuilds.
+        """
+        ctx = self.ctx
+        from repro.engine.cache import CacheProbe
+
+        try:
+            if ctx.faults is not None:
+                ctx.faults.fire("stage_cache_read", stage=stage.name)
+            return ctx.cache.lookup(stage, ctx, fp)
+        except (CheckpointError, InjectedFault, OSError) as exc:
+            if ctx.strict_cache:
+                raise
+            ctx.bus.emit(heal_event(
+                stage.name, "io", "recompute", point="stage_cache_read",
+                error=type(exc).__name__,
+                path=getattr(exc, "path", None)))
+            ctx.cache.misses += 1
+            return CacheProbe("miss")
+
+    def _cache_store(self, stage: Stage, fp: str, artifact: Any) -> None:
+        """Persist a fresh artifact, retrying transient failures.
+
+        The ``stage_cache_write`` fault point fires inside the retried
+        window.  Exhausting the :class:`RetryPolicy` budget never fails
+        the run — the artifact is simply not cached this time
+        (``self_heal``/``skip-write``).
+        """
+        ctx = self.ctx
+        name = stage.name
+
+        def attempt() -> None:
+            if ctx.faults is not None:
+                ctx.faults.fire("stage_cache_write", stage=name)
+            __, nbytes = ctx.cache.store(stage, ctx, fp, artifact)
+            ctx.bus.emit(StageEvent(
+                "artifact_bytes", name, artifact_bytes=nbytes,
+                fingerprint=fp))
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            ctx.bus.emit(heal_event(
+                name, "io", "retry", point="stage_cache_write",
+                attempt=attempt_no, error=type(exc).__name__))
+
+        policy = ctx.retry
+        if policy is None:
+            from repro.runtime.resilience import IO_RETRY
+
+            policy = IO_RETRY
+        try:
+            policy.run(attempt, retry_on=(OSError, InjectedFault),
+                       on_retry=on_retry)
+        except (OSError, InjectedFault) as exc:
+            ctx.bus.emit(heal_event(
+                name, "io", "skip-write", point="stage_cache_write",
+                error=type(exc).__name__))
+
     def ensure(self, name: str) -> Any:
         """Build (or load) the substrate artifact *name*, inputs first."""
         ctx = self.ctx
@@ -73,8 +136,9 @@ class Engine:
         cache_label: Optional[str] = None
         try:
             artifact: Any = None
+            need_store = False
             if cacheable:
-                probe = ctx.cache.lookup(stage, ctx, fp)
+                probe = self._cache_lookup(stage, fp)
                 if probe.mode == "codec":
                     artifact = probe.artifact
                     cache_label = "codec"
@@ -84,23 +148,34 @@ class Engine:
                 elif probe.mode == "replay":
                     artifact = stage.run(ctx)
                     if stage.digest(ctx, artifact) != probe.digest:
-                        raise ctx.cache.reject(
+                        # The rebuild is the trustworthy object; the entry
+                        # is evidence.  Quarantine it and (unless strict)
+                        # keep the rebuild, re-recording its digest.
+                        err = ctx.cache.reject(
                             probe.path,
                             f"stage {name!r} rebuild does not match the "
                             f"entry's recorded digest")
-                    cache_label = "replay"
-                    ctx.bus.emit(StageEvent(
-                        "cache_hit", name, cache="replay",
-                        artifact_bytes=probe.nbytes, fingerprint=fp))
+                        if ctx.strict_cache:
+                            raise err
+                        ctx.bus.emit(heal_event(
+                            name, "io", "recompute",
+                            point="stage_cache_read",
+                            error="CheckpointError", reason="digest-mismatch",
+                            path=err.path))
+                        cache_label = "miss"
+                        need_store = True
+                    else:
+                        cache_label = "replay"
+                        ctx.bus.emit(StageEvent(
+                            "cache_hit", name, cache="replay",
+                            artifact_bytes=probe.nbytes, fingerprint=fp))
                 else:
                     cache_label = "miss"
             if artifact is None:
                 artifact = stage.run(ctx)
-                if cacheable:
-                    __, nbytes = ctx.cache.store(stage, ctx, fp, artifact)
-                    ctx.bus.emit(StageEvent(
-                        "artifact_bytes", name, artifact_bytes=nbytes,
-                        fingerprint=fp))
+                need_store = cacheable
+            if need_store:
+                self._cache_store(stage, fp, artifact)
         except BaseException as exc:
             ctx.bus.emit(StageEvent(
                 "stage_end", name, wall_s=time.perf_counter() - begun,
@@ -161,6 +236,7 @@ class Engine:
                 self.ensure(dep)
         base_level = level[:-len("-par")] if level.endswith("-par") else level
         effective_ptrepo = ctx.ptrepo if ptrepo is None else bool(ptrepo)
+        rung_faults = faults if faults is not None else ctx.faults
         if (effective_ptrepo and base_level in ("sfs", "vsfs")
                 and ctx.mde is None):
             # Lazily create the dedup engine on the *base* context: every
@@ -170,7 +246,24 @@ class Engine:
             # result store configured one — is opened exactly once.
             from repro.datastructs.mde import MdeEngine
 
-            ctx.mde = MdeEngine.open(ctx.arena_path)
+            arena_path = ctx.arena_path
+            if arena_path is not None and rung_faults is not None:
+                try:
+                    rung_faults.fire("arena_attach", stage=name)
+                except InjectedFault as exc:
+                    # The arena is a cache: proceed arena-less rather
+                    # than fail the solve over an unattachable file.
+                    arena_path = None
+                    ctx.bus.emit(heal_event(
+                        name, "io", "detached", point="arena_attach",
+                        error=type(exc).__name__))
+            ctx.mde = MdeEngine.open(arena_path)
+            if ctx.mde.arena_quarantined is not None:
+                # MdeEngine already quarantined the corrupt file and
+                # re-created a fresh arena; surface the rebuild.
+                ctx.bus.emit(heal_event(
+                    name, "io", "rebuilt", point="arena_attach",
+                    path=ctx.mde.arena_quarantined))
         rung = ctx.for_solve(
             delta=ctx.delta if delta is None else bool(delta),
             ptrepo=ctx.ptrepo if ptrepo is None else bool(ptrepo),
@@ -193,12 +286,28 @@ class Engine:
             raise
         if level == "andersen":
             ctx.artifacts["andersen"] = result
+        pstats = getattr(result, "parallel", None)
+        if pstats is not None and getattr(pstats, "revivals", 0):
+            ctx.bus.emit(heal_event(
+                name, "parallel", "revive",
+                revivals=getattr(pstats, "revivals", 0),
+                worker_failures=getattr(pstats, "worker_failures", 0) or None,
+                heartbeat_timeouts=(
+                    getattr(pstats, "heartbeat_timeouts", 0) or None)))
         detail: Optional[Dict[str, Any]] = None
         if ctx.mde is not None and base_level in ("sfs", "vsfs"):
             # Persist masks interned by this rung so the next run (or the
             # next process) warm-attaches them; a read-only or misaligned
-            # arena makes this a no-op.
-            ctx.mde.flush()
+            # arena makes this a no-op — and a failing flush must never
+            # fail a completed solve (the arena is a cache).
+            try:
+                if rung_faults is not None:
+                    rung_faults.fire("arena_append", stage=name)
+                ctx.mde.flush()
+            except (InjectedFault, OSError) as exc:
+                ctx.bus.emit(heal_event(
+                    name, "io", "skip-flush", point="arena_append",
+                    error=type(exc).__name__))
             stats = getattr(result, "stats", None)
             if stats is not None and getattr(stats, "ptrepo_enabled", False):
                 detail = {

@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 #: Event kinds, in the order a single stage execution can emit them.
-EVENT_KINDS = ("stage_start", "cache_hit", "artifact_bytes", "stage_end")
+#: ``self_heal`` may appear anywhere: it records a fault that was
+#: absorbed (quarantine-and-recompute, retry-and-skip, revive, collapse)
+#: instead of surfacing — the degraded-not-dead audit trail.
+EVENT_KINDS = ("stage_start", "cache_hit", "artifact_bytes", "self_heal",
+               "stage_end")
 
 #: ``cache`` values that mean "served from a cache" in a trace record.
 CACHE_HIT_LABELS = ("codec", "replay", "result-store")
@@ -44,6 +48,18 @@ class StageEvent:
     #: Optional stage-specific observations (solve stages attach their
     #: dedup-engine figures: batch memo hit rate, arena resident bytes).
     detail: Optional[Dict[str, object]] = None
+
+
+def heal_event(stage: str, domain: str, action: str,
+               **detail: object) -> StageEvent:
+    """Build a ``self_heal`` event: *domain* (fault domain the incident
+    belongs to), *action* (what the healer did: ``recompute``,
+    ``rebuilt``, ``skip-write``, ``skip-flush``, ``detached``,
+    ``revive``, ``retry``), plus free-form detail."""
+    payload: Dict[str, object] = {"domain": domain, "action": action}
+    payload.update({key: value for key, value in detail.items()
+                    if value is not None})
+    return StageEvent("self_heal", stage, detail=payload)
 
 
 class EventBus:
@@ -98,6 +114,9 @@ class StageTrace:
 
     def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.records: List[StageRecord] = []
+        #: Absorbed-fault audit trail, in emission order: one dict per
+        #: ``self_heal`` event (stage + the event's detail payload).
+        self.heals: List[Dict[str, object]] = []
         self._open: Dict[str, StageRecord] = {}
         if bus is not None:
             bus.subscribe(self.on_event)
@@ -105,6 +124,11 @@ class StageTrace:
     # -------------------------------------------------------------- folding
 
     def on_event(self, event: StageEvent) -> None:
+        if event.kind == "self_heal":
+            entry: Dict[str, object] = {"stage": event.stage}
+            entry.update(event.detail or {})
+            self.heals.append(entry)
+            return
         if event.kind == "stage_start":
             self._open[event.stage] = StageRecord(
                 stage=event.stage, main_phase=event.main_phase,

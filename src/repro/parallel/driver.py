@@ -50,14 +50,19 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.callgraph import CallGraph
 from repro.datastructs.bitset import count_bits
-from repro.errors import AnalysisError, SolverError
+from repro.errors import AnalysisError, InjectedFault, SolverError, WorkerCrash
 from repro.parallel.partition import Partition, partition_svfg
 from repro.parallel.worker import (
+    HUNG,
     SHARDED_SOLVERS,
     ForkedWorker,
     InlineWorker,
     WorkerSpec,
     raise_failure,
+)
+from repro.runtime.resilience import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    DEFAULT_WORKER_FAILURE_BUDGET,
 )
 from repro.solvers.base import FlowSensitiveResult, SolverStats
 from repro.store.codec import call_sites_by_id, resolve_call_edge
@@ -73,6 +78,11 @@ class ParallelStats:
     components: int
     rounds: int = 0
     revivals: int = 0
+    #: Watchdog accounting: incidents charged against worker failure
+    #: budgets (deaths, hangs, lost frontier exchanges, failed spawns)
+    #: and how many of those were heartbeat timeouts specifically.
+    worker_failures: int = 0
+    heartbeat_timeouts: int = 0
     frontier_batches: int = 0
     frontier_entries: int = 0
     frontier_table_rows: int = 0
@@ -92,6 +102,8 @@ class ParallelStats:
             "components": self.components,
             "rounds": self.rounds,
             "revivals": self.revivals,
+            "worker_failures": self.worker_failures,
+            "heartbeat_timeouts": self.heartbeat_timeouts,
             "frontier_batches": self.frontier_batches,
             "frontier_entries": self.frontier_entries,
             "frontier_table_rows": self.frontier_table_rows,
@@ -117,7 +129,11 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
                    shards_per_worker: int = 4, mode: Optional[str] = None,
                    seal_every: int = 0, kill_after_round: Optional[int] = None,
                    kill_worker: int = 0, mde=None,
-                   mde_batch: bool = True) -> FlowSensitiveResult:
+                   mde_batch: bool = True,
+                   heartbeat_seconds: Optional[float] = None,
+                   max_worker_failures: int = DEFAULT_WORKER_FAILURE_BUDGET,
+                   hang_after_round: Optional[int] = None,
+                   hang_worker: int = 0) -> FlowSensitiveResult:
     """Solve *svfg* at *level* ("sfs" or "vsfs") on *jobs* sharded workers.
 
     Returns a :class:`FlowSensitiveResult` bit-identical to the serial
@@ -130,6 +146,21 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
     from scratch).  ``kill_after_round`` hard-kills ``kill_worker`` once
     after that many completed rounds — the straggler-recovery fault hook
     the integration tests drive.
+
+    **Watchdog** (DESIGN.md §12): the driver waits at most
+    ``heartbeat_seconds`` for a forked worker's round reply (default
+    :data:`~repro.runtime.resilience.DEFAULT_HEARTBEAT_SECONDS`; inline
+    workers cannot hang independently, so no timeout applies).  A dead or
+    hung worker — or one whose frontier exchange is lost, including via
+    the injected ``worker_spawn``/``worker_heartbeat``/``frontier_send``/
+    ``frontier_recv`` fault points of *faults* — is killed and revived
+    from its last seal, and the incident is charged against that slot's
+    failure budget (``max_worker_failures``).  A slot that spends its
+    budget aborts the run with a typed
+    :class:`~repro.errors.WorkerCrash`, which the degradation ladder
+    collapses onto the bit-identical serial rung.  ``hang_after_round``/
+    ``hang_worker`` is the watchdog's test hook: the named worker's first
+    incarnation goes silent after that many rounds (fork only).
 
     ``mde`` is the driver-side dedup engine
     (:class:`~repro.datastructs.mde.MdeEngine`).  When it carries an
@@ -171,6 +202,11 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
         mode = "fork" if fork_available() and multicore else "inline"
     mp_ctx = multiprocessing.get_context("fork") if mode == "fork" else None
 
+    if heartbeat_seconds is None and mode == "fork":
+        heartbeat_seconds = DEFAULT_HEARTBEAT_SECONDS
+    if mode != "fork":
+        heartbeat_seconds = None  # inline workers cannot hang independently
+
     arena = getattr(mde, "arena", None)
     arena_path = arena.path if arena is not None else None
     specs = [
@@ -178,16 +214,19 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
                    delta=delta, ptrepo=ptrepo, mde_batch=mde_batch,
                    arena_path=arena_path,
                    versioning_snapshot=ver_snapshot, budget=budget,
-                   faults=faults, share_svfg=(mode == "fork"))
+                   faults=faults, share_svfg=(mode == "fork"),
+                   hang_after_round=(hang_after_round
+                                     if w == hang_worker else None))
         for w in range(jobs)
     ]
-    workers = [_make_worker(spec, mode, mp_ctx) for spec in specs]
     pending: List[List[Any]] = [[] for _ in range(jobs)]  # undelivered batches
     retained: List[List[Any]] = [[] for _ in range(jobs)]  # since last seal
     seals: List[Optional[Dict[str, Any]]] = [None] * jobs
+    failures = [0] * jobs  # watchdog incidents charged per worker slot
     pstats = ParallelStats(jobs=jobs, mode=mode,
                            shards=len(partition.shards),
                            components=partition.num_components)
+    workers: List[Any] = []
 
     def abort() -> None:
         for worker in workers:
@@ -200,10 +239,36 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
         abort()
         raise_failure(kind, info, stage=level)
 
+    def charge(w: int, incident: str) -> None:
+        """Charge one watchdog incident; WorkerCrash when the budget is
+        spent (the ladder then collapses onto the serial rung)."""
+        failures[w] += 1
+        pstats.worker_failures += 1
+        if failures[w] >= max_worker_failures:
+            abort()
+            raise WorkerCrash(
+                f"parallel worker {w} spent its failure budget "
+                f"({failures[w]}/{max_worker_failures}; last incident: "
+                f"{incident}) — collapsing onto the serial ladder",
+                worker=w, failures=failures[w], incident=incident)
+
+    def spawn(w: int) -> Any:
+        """Build worker *w*, respawning on injected spawn faults (each
+        failed spawn is charged against the slot's budget)."""
+        while True:
+            try:
+                if faults is not None:
+                    faults.fire("worker_spawn", stage=level)
+                return _make_worker(specs[w], mode, mp_ctx)
+            except (InjectedFault, OSError):
+                charge(w, "spawn")
+
+    workers.extend(spawn(w) for w in range(jobs))
+
     def revive(w: int) -> None:
         specs[w] = replace(specs[w], incarnation=specs[w].incarnation + 1,
                            restore=seals[w])
-        workers[w] = _make_worker(specs[w], mode, mp_ctx)
+        workers[w] = spawn(w)
         # Re-deliver everything the dead worker saw after its seal; the
         # joins are idempotent, and the mirrors inside the seal line up
         # with each batch's table watermarks.
@@ -211,24 +276,82 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
         retained[w] = []
         pstats.revivals += 1
 
+    def await_reply(w: int, expect: str, dead: List[int],
+                    incident_charged: bool = True) -> Optional[Any]:
+        """Watchdog wait for worker *w*'s reply.
+
+        Returns the reply payload tuple, or ``None`` after marking the
+        worker dead/hung (killed; appended to *dead* for revival).  The
+        ``worker_heartbeat`` and ``frontier_recv`` fault points fire
+        here: a heartbeat fault makes the worker count as hung, a recv
+        fault loses the (already received) reply.
+        """
+        hung = False
+        if faults is not None:
+            try:
+                faults.fire("worker_heartbeat", stage=level)
+            except InjectedFault:
+                hung = True
+        reply = HUNG if hung else workers[w].reply(timeout=heartbeat_seconds)
+        if reply is HUNG:
+            pstats.heartbeat_timeouts += 1
+            workers[w].kill()
+            dead.append(w)
+            if incident_charged:
+                charge(w, "hung")
+            return None
+        if reply is None:
+            dead.append(w)
+            if incident_charged:
+                charge(w, "died")
+            return None
+        if faults is not None:
+            try:
+                faults.fire("frontier_recv", stage=level)
+            except InjectedFault:
+                # The reply is lost; the worker's post-round state is
+                # unknowable, so treat the slot like a straggler.
+                workers[w].kill()
+                dead.append(w)
+                charge(w, "frontier-recv")
+                return None
+        if reply[0] != expect:
+            fail(reply[0], reply[1])
+        return reply
+
+    def deliver(w: int) -> bool:
+        """Move worker *w*'s pending batches into its inbox and send the
+        round request; False when the delivery was lost (worker killed,
+        charged, left for revival)."""
+        inbox, pending[w] = pending[w], []
+        retained[w].extend(inbox)
+        try:
+            if faults is not None:
+                faults.fire("frontier_send", stage=level)
+        except InjectedFault:
+            workers[w].kill()
+            charge(w, "frontier-send")
+            return False
+        workers[w].request(("round", inbox))
+        return True
+
     killed = False
     fresh: set = set()  # revived workers that must drain before we stop
     round_idx = 0
     while True:
         run_set = [w for w in range(jobs) if w <= round_idx]
-        for w in run_set:
-            inbox, pending[w] = pending[w], []
-            retained[w].extend(inbox)
-            workers[w].request(("round", inbox))
         dead: List[int] = []
-        replies: Dict[int, Any] = {}
+        sent: List[int] = []
         for w in run_set:
-            reply = workers[w].reply()
-            if reply is None:
+            if deliver(w):
+                sent.append(w)
+            else:
                 dead.append(w)
+        replies: Dict[int, Any] = {}
+        for w in sent:
+            reply = await_reply(w, "ok", dead)
+            if reply is None:
                 continue
-            if reply[0] != "ok":
-                fail(reply[0], reply[1])
             replies[w] = reply
             fresh.discard(w)
         pstats.rounds += 1
@@ -245,15 +368,13 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
                     pending[peer].append(batch)
 
         if seal_every and pstats.rounds % seal_every == 0:
-            for w in replies:
+            sealing = [w for w in replies if w not in dead]
+            for w in sealing:
                 workers[w].request(("seal",))
-            for w in replies:
-                reply = workers[w].reply()
+            for w in sealing:
+                reply = await_reply(w, "seal", dead)
                 if reply is None:
-                    dead.append(w)
                     continue
-                if reply[0] != "seal":
-                    fail(reply[0], reply[1])
                 seals[w] = reply[1]
                 retained[w] = []
 
@@ -273,18 +394,35 @@ def solve_parallel(svfg, level: str = "sfs", jobs: int = 2, *,
             break
         round_idx += 1
 
+    # ---------------------------------------------------------- finalize
+    # A worker lost *here* is still recoverable: the global fixpoint is
+    # already reached, so a revived incarnation replays its retained
+    # batches to local quiescence — its outboxes are droppable (peers
+    # incorporated the dead incarnation's sends before the loop ended) —
+    # and then finalizes like any other worker.
+    def finalize(w: int) -> Dict[str, Any]:
+        while True:
+            dead: List[int] = []
+            reply = await_reply(w, "result", dead)
+            if reply is not None:
+                return reply[1]
+            revive(w)
+            quiesced = True
+            while pending[w]:
+                if not deliver(w):
+                    quiesced = False
+                    break
+                if await_reply(w, "ok", dead) is None:
+                    quiesced = False
+                    break
+            if not quiesced:
+                revive(w)
+                continue
+            workers[w].request(("finish",))
+
     for worker in workers:
         worker.request(("finish",))
-    payloads: List[Dict[str, Any]] = []
-    for w, worker in enumerate(workers):
-        reply = worker.reply()
-        if reply is None:
-            abort()
-            raise SolverError(
-                f"parallel worker {w} died while finalizing its shard")
-        if reply[0] != "result":
-            fail(reply[0], reply[1])
-        payloads.append(reply[1])
+    payloads: List[Dict[str, Any]] = [finalize(w) for w in range(jobs)]
     for worker in workers:
         worker.stop()
 

@@ -21,6 +21,7 @@ loop is transport-agnostic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -32,6 +33,19 @@ from repro.store.codec import snapshot_call_edges
 
 #: Analysis level -> sharded solver class.
 SHARDED_SOLVERS = {"sfs": ShardedSFS, "vsfs": ShardedVSFS}
+
+
+class _Hung:
+    """Sentinel reply: the worker missed its heartbeat (still alive as far
+    as the pipe knows, but not answering) — distinct from ``None`` (dead)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<HUNG>"
+
+
+#: Returned by ``reply(timeout=...)`` when the deadline passed without an
+#: answer; the driver's watchdog treats it as a hung worker.
+HUNG = _Hung()
 
 
 @dataclass
@@ -64,6 +78,12 @@ class WorkerSpec:
     faults: Any = None
     #: Bumped on every revival of this worker slot (see FrontierBatch).
     incarnation: int = 0
+    #: Watchdog test hook (fork transport only): after completing this
+    #: many rounds, the *first* incarnation stops answering instead of
+    #: sending its round reply — the driver's heartbeat timeout must
+    #: detect the hang and kill-and-revive.  Revived incarnations answer
+    #: normally, so the run completes.
+    hang_after_round: Optional[int] = None
     #: Seal payload to restore from (None = fresh start).
     restore: Optional[Dict[str, Any]] = None
     #: True under fork start: the child owns its copy-on-write address
@@ -228,6 +248,13 @@ def _child_main(conn, spec: WorkerSpec) -> None:
         try:
             if cmd == "round":
                 batch, info = session.run_round(msg[1])
+                if (spec.hang_after_round is not None
+                        and spec.incarnation == 0
+                        and session.round_no > spec.hang_after_round):
+                    # Simulate a hung worker: the round's work happened
+                    # but the reply never comes.  Sleep rather than spin
+                    # until the driver's watchdog kills this process.
+                    time.sleep(3600)
                 conn.send(("ok", batch, info))
             elif cmd == "seal":
                 conn.send(("seal", session.seal()))
@@ -256,12 +283,20 @@ class ForkedWorker:
         child_conn.close()
 
     def request(self, msg: Tuple) -> None:
-        self.conn.send(msg)
-
-    def reply(self) -> Optional[Tuple]:
-        """The next reply, or ``None`` if the worker died (straggler/kill
-        revival is the driver's call)."""
         try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            # The child is gone; the next reply() returns None and the
+            # driver's watchdog takes it from there.
+            pass
+
+    def reply(self, timeout: Optional[float] = None) -> Any:
+        """The next reply; ``None`` if the worker died, :data:`HUNG` if
+        *timeout* seconds passed without one (straggler/kill revival is
+        the driver's call)."""
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                return HUNG
             return self.conn.recv()
         except (EOFError, OSError):
             return None
@@ -322,7 +357,9 @@ class InlineWorker:
         except BaseException as exc:  # noqa: BLE001 - mirror the pipe path
             self._reply = _failure_reply(exc)
 
-    def reply(self) -> Optional[Tuple]:
+    def reply(self, timeout: Optional[float] = None) -> Any:
+        # An in-process worker cannot hang independently of the driver,
+        # so *timeout* is accepted for protocol parity and ignored.
         if self._dead:
             return None
         reply, self._reply = self._reply, None

@@ -40,13 +40,15 @@ class AnalysisPipeline:
                  cache: Optional[StageCache] = None,
                  source: Optional[str] = None, language: str = "c",
                  mde_batch: bool = True,
-                 arena_path: Optional[str] = None):
+                 arena_path: Optional[str] = None,
+                 faults=None, strict_cache: bool = False):
         if module is None and source is None:
             raise AnalysisError(
                 "AnalysisPipeline needs a prepared module or source text")
         ctx = StageContext(module=module, source=source, language=language,
                            cache=cache, mde_batch=mde_batch,
-                           arena_path=arena_path)
+                           arena_path=arena_path, faults=faults,
+                           strict_cache=strict_cache)
         self.engine = Engine(ctx)
         self.module: Module = self.engine.ensure("prepare")
 
@@ -54,10 +56,13 @@ class AnalysisPipeline:
     def from_source(cls, source: str, language: str = "c",
                     cache: Optional[StageCache] = None,
                     mde_batch: bool = True,
-                    arena_path: Optional[str] = None) -> "AnalysisPipeline":
+                    arena_path: Optional[str] = None,
+                    faults=None,
+                    strict_cache: bool = False) -> "AnalysisPipeline":
         """Route parsing/preparation through the engine's own stages."""
         return cls(source=source, language=language, cache=cache,
-                   mde_batch=mde_batch, arena_path=arena_path)
+                   mde_batch=mde_batch, arena_path=arena_path, faults=faults,
+                   strict_cache=strict_cache)
 
     @property
     def trace(self) -> StageTrace:

@@ -15,7 +15,10 @@ governance & degradation ladder".
 - :mod:`repro.runtime.faults` — deterministic fault injection;
 - :mod:`repro.runtime.diagnostics` — :class:`RunReport` attached to results;
 - :mod:`repro.runtime.checkpoint` — crash-safe snapshot/resume of in-flight
-  solver state (:class:`CheckpointConfig` / :class:`Checkpointer`).
+  solver state (:class:`CheckpointConfig` / :class:`Checkpointer`);
+- :mod:`repro.runtime.resilience` — the self-healing layer's shared
+  :class:`RetryPolicy` (capped backoff, deterministic seeded jitter) and
+  watchdog defaults (DESIGN.md §12).
 """
 
 from repro.runtime.budget import Budget, BudgetMeter
@@ -33,7 +36,19 @@ from repro.runtime.degrade import (
     solve_with_ladder,
 )
 from repro.runtime.diagnostics import Attempt, RunReport
-from repro.runtime.faults import FAULT_POINTS, FaultPlan
+from repro.runtime.faults import (
+    FAULT_DOMAINS,
+    FAULT_POINTS,
+    FaultPlan,
+    describe_fault_points,
+    fault_domain,
+)
+from repro.runtime.resilience import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    DEFAULT_WORKER_FAILURE_BUDGET,
+    IO_RETRY,
+    RetryPolicy,
+)
 
 __all__ = [
     "Budget",
@@ -45,6 +60,13 @@ __all__ = [
     "load_checkpoint",
     "FaultPlan",
     "FAULT_POINTS",
+    "FAULT_DOMAINS",
+    "fault_domain",
+    "describe_fault_points",
+    "RetryPolicy",
+    "IO_RETRY",
+    "DEFAULT_WORKER_FAILURE_BUDGET",
+    "DEFAULT_HEARTBEAT_SECONDS",
     "RunReport",
     "Attempt",
     "LADDERS",

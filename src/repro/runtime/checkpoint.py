@@ -86,7 +86,8 @@ class Checkpointer:
     """
 
     def __init__(self, config: CheckpointConfig, ir_hash: str, analysis: str,
-                 delta: bool = True, ptrepo: bool = True):
+                 delta: bool = True, ptrepo: bool = True,
+                 faults: Any = None, bus: Any = None, retry: Any = None):
         self.config = config
         self.ir_hash = ir_hash
         self.analysis = analysis
@@ -94,7 +95,16 @@ class Checkpointer:
         self.ptrepo = bool(ptrepo)
         self.path = checkpoint_path(config.directory, ir_hash, analysis,
                                     delta, ptrepo)
+        #: FaultPlan whose ``checkpoint_write`` point fires inside save().
+        self.faults = faults
+        #: EventBus receiving ``self_heal`` events for absorbed failures.
+        self.bus = bus
+        #: RetryPolicy for transient save failures (None = IO_RETRY).
+        self.retry = retry
         self.saves = 0
+        #: Saves abandoned after the retry budget was spent (the solve
+        #: continued; the previous checkpoint on disk stays valid).
+        self.skipped = 0
         self.total_time = 0.0
         self._last_step = 0
         self._last_wall = time.monotonic()
@@ -115,10 +125,21 @@ class Checkpointer:
             return self.save(solver, step)
         return None
 
-    def save(self, solver: Any, step: int, reason: str = "cadence") -> str:
-        """Snapshot *solver* and seal it to disk; returns the file path."""
+    def save(self, solver: Any, step: int,
+             reason: str = "cadence") -> Optional[str]:
+        """Snapshot *solver* and seal it to disk; returns the file path.
+
+        Writes are atomic (a crash mid-save leaves the previous file
+        intact), and transient failures — ``OSError`` or an injected
+        ``checkpoint_write`` fault — are retried on the
+        :class:`~repro.runtime.resilience.RetryPolicy`.  A save whose
+        retry budget is spent is *skipped*, not fatal: the solve goes on
+        and the previous checkpoint stays the resume point.  Returns
+        ``None`` for a skipped save.
+        """
+        from repro.errors import InjectedFault
+
         begun = time.perf_counter()
-        os.makedirs(self.config.directory, exist_ok=True)
         meta = {
             "ir_hash": self.ir_hash,
             "analysis": self.analysis,
@@ -127,8 +148,44 @@ class Checkpointer:
             "step": step,
             "reason": reason,
         }
-        write_sealed_json(self.path, CHECKPOINT_KIND, CHECKPOINT_SCHEMA,
-                          meta, solver.snapshot_state())
+        state = solver.snapshot_state()
+
+        def attempt() -> None:
+            if self.faults is not None:
+                self.faults.fire("checkpoint_write", stage=self.analysis)
+            os.makedirs(self.config.directory, exist_ok=True)
+            write_sealed_json(self.path, CHECKPOINT_KIND, CHECKPOINT_SCHEMA,
+                              meta, state)
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            if self.bus is not None:
+                from repro.engine.events import heal_event
+
+                self.bus.emit(heal_event(
+                    f"solve:{self.analysis}", "io", "retry",
+                    point="checkpoint_write", attempt=attempt_no,
+                    error=type(exc).__name__))
+
+        policy = self.retry
+        if policy is None:
+            from repro.runtime.resilience import IO_RETRY
+
+            policy = IO_RETRY
+        try:
+            policy.run(attempt, retry_on=(OSError, InjectedFault),
+                       on_retry=on_retry)
+        except (OSError, InjectedFault) as exc:
+            self.skipped += 1
+            self._last_step = step
+            self._last_wall = time.monotonic()
+            if self.bus is not None:
+                from repro.engine.events import heal_event
+
+                self.bus.emit(heal_event(
+                    f"solve:{self.analysis}", "io", "skip-write",
+                    point="checkpoint_write", error=type(exc).__name__,
+                    step=step))
+            return None
         self.saves += 1
         self.total_time += time.perf_counter() - begun
         self._last_step = step

@@ -159,13 +159,20 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
     checkpointers: Dict[str, Checkpointer] = {}
     ir_hash = ir_fingerprint(pipeline.module) if checkpoint is not None else None
 
+    ctx = getattr(getattr(pipeline, "engine", None), "ctx", None)
+    bus = getattr(ctx, "bus", None)
+
     def checkpointer_for(level: str) -> Optional[Checkpointer]:
         if checkpoint is None:
             return None
         ck = checkpointers.get(level)
         if ck is None:
+            # Wire the fault plan and the pipeline's event bus through so
+            # the checkpoint_write fault point fires and skipped saves
+            # surface as self_heal events on the run's trace.
             ck = checkpointers[level] = Checkpointer(
-                checkpoint, ir_hash, level, delta=delta, ptrepo=ptrepo)
+                checkpoint, ir_hash, level, delta=delta, ptrepo=ptrepo,
+                faults=faults, bus=bus)
         return ck
 
     resume_level = resume_meta.get("analysis") if resume_meta else None
@@ -210,6 +217,8 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
         report.resumed_from_step = resume_step if report.resumed else None
         report.resume_count = 1 if report.resumed else 0
         report.checkpoint_saves = sum(ck.saves for ck in checkpointers.values())
+        report.checkpoint_skips = sum(
+            ck.skipped for ck in checkpointers.values())
         report.checkpoint_time_s = sum(
             ck.total_time for ck in checkpointers.values())
         if failure is not None:

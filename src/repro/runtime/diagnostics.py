@@ -78,6 +78,9 @@ class RunReport:
     resumed_from_step: Optional[int] = None
     resume_count: int = 0
     checkpoint_saves: int = 0
+    #: Saves abandoned after the transient-I/O retry budget was spent
+    #: (degraded-not-dead: the solve continued without them).
+    checkpoint_skips: int = 0
     checkpoint_time_s: float = 0.0
     checkpoint_path: Optional[str] = None
     #: Live :class:`~repro.engine.events.StageTrace` of the pipeline that
@@ -120,6 +123,26 @@ class RunReport:
         return self.degraded_from is not None
 
     @property
+    def precision_lost(self) -> bool:
+        """True when degradation cost precision, not just parallelism.
+
+        A parallel rung collapsing onto its serial twin (``sfs-par →
+        sfs``) is degradation without precision loss — the results are
+        bit-identical — so result stores and warnings key off this, not
+        :attr:`degraded`.
+        """
+        if not self.degraded:
+            return False
+        return self.degraded_from != self.precision_level + "-par"
+
+    @property
+    def self_heal(self) -> List[Dict[str, object]]:
+        """The stage trace's absorbed-fault audit trail (empty = clean)."""
+        trace = self.stage_trace
+        heals = getattr(trace, "heals", None) if trace is not None else None
+        return list(heals) if heals else []
+
+    @property
     def stage_reached(self) -> str:
         """The last stage attempted (= the one that produced the answer,
         when the run succeeded)."""
@@ -146,6 +169,7 @@ class RunReport:
             "precision_level": self.precision_level,
             "degraded": self.degraded,
             "degraded_from": self.degraded_from,
+            "precision_lost": self.precision_lost,
             "fallback": self.fallback,
             "stage_reached": self.stage_reached,
             "budget": None if self.budget is None else {
@@ -160,9 +184,11 @@ class RunReport:
             "resumed_from_step": self.resumed_from_step,
             "resume_count": self.resume_count,
             "checkpoint_saves": self.checkpoint_saves,
+            "checkpoint_skips": self.checkpoint_skips,
             "checkpoint_time_s": self.checkpoint_time_s,
             "checkpoint_path": self.checkpoint_path,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "self_heal": self.self_heal,
             "stages": (self.stage_trace.to_dict()
                        if self.stage_trace is not None else None),
         }
@@ -178,12 +204,22 @@ class RunReport:
         lines.append(f"consumed: {consumed}")
         lines.append(f"stage reached: {self.stage_reached or 'none'} "
                      f"(precision: {self.precision_level or 'n/a'})")
-        if self.resumed or self.checkpoint_saves:
+        if self.resumed or self.checkpoint_saves or self.checkpoint_skips:
             checkpoints = (f"checkpoints: {self.checkpoint_saves} saved "
                            f"({self.checkpoint_time_s:.4f}s)")
+            if self.checkpoint_skips:
+                checkpoints += f", {self.checkpoint_skips} skipped"
             if self.resumed:
                 checkpoints += f", resumed from step {self.resumed_from_step}"
             lines.append(checkpoints)
+        heals = self.self_heal
+        if heals:
+            lines.append(f"self-heal: {len(heals)} absorbed fault(s)")
+            for heal in heals:
+                stage = heal.get("stage", "?")
+                detail = ", ".join(f"{k}={v}" for k, v in heal.items()
+                                   if k != "stage")
+                lines.append(f"  - {stage}: {detail}")
         lines.append("attempts:")
         for index, attempt in enumerate(self.attempts, 1):
             lines.append(f"  {index}. {attempt.describe()}")

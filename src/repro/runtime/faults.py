@@ -1,26 +1,30 @@
-"""Deterministic fault injection for the staged solvers.
+"""Deterministic fault injection across every platform fault domain.
 
-The solvers are instrumented at four trigger points — stage boundaries and
-the hot spots of the solve loops:
+The original four trigger points covered only the solver hot loops; the
+resilience layer (:mod:`repro.runtime.resilience`, DESIGN.md §12) extends
+the table to every layer that can fail in production.  Points are grouped
+into **fault domains**:
 
-- ``pre_meld``: the pre-solve stage boundary, immediately before the
-  versioning pre-analysis for VSFS (and before worklist seeding for SFS);
-- ``otf_edge``: a new call edge was discovered by on-the-fly call graph
-  resolution and is about to be wired into the SVFG;
-- ``propagate``: an indirect points-to propagation (SFS ``A-PROP`` /
-  VSFS ``[A-PROP]ⱽ``) is starting;
-- ``ptrepo_union``: a deduplicated-storage union is about to be applied
-  (only reachable with ``ptrepo`` enabled).
+- ``solver`` — the original four: stage boundaries and the hot spots of
+  the solve loops (``pre_meld``, ``otf_edge``, ``propagate``,
+  ``ptrepo_union``);
+- ``io`` — the on-disk substrate: stage-cache read/write, checkpoint
+  write, result-store put, arena append/attach;
+- ``parallel`` — the sharded driver's transport: frontier send/recv,
+  worker spawn, worker heartbeat.
 
 A :class:`FaultPlan` decides, deterministically, whether a reached point
 fires.  Two trigger modes: *step-indexed* (fire on the N-th hit of a
 point) and *seeded probability* (a private ``random.Random(seed)`` stream,
 so two plans with the same seed fire identically).  Firing raises
 :class:`~repro.errors.InjectedFault` — a typed ``ReproError`` carrying the
-point, stage and hit count — which either surfaces to the caller or is
-absorbed by the degradation ladder, exactly like a real internal failure
-would be.  The integration suite proves both outcomes for the full
-point × solver × ablation matrix.
+point, stage and hit count.  What happens next depends on the domain:
+solver faults surface to the degradation ladder exactly like a real
+internal failure; ``io`` faults are absorbed by the self-healing wrappers
+(recompute, retry, or skip — the run completes); ``parallel`` faults are
+absorbed by the driver's watchdog (kill-and-revive, then collapse onto
+the serial rung once the failure budget is spent).  The chaos harness
+(``repro-wpa chaos``) soaks the whole table under seeded schedules.
 """
 
 from __future__ import annotations
@@ -30,8 +34,71 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError, InjectedFault
 
-#: Every instrumented trigger point, in pipeline order.
-FAULT_POINTS = ("pre_meld", "otf_edge", "propagate", "ptrepo_union")
+#: Fault domain -> its trigger points, in pipeline order.
+FAULT_DOMAINS: Dict[str, Tuple[str, ...]] = {
+    "solver": ("pre_meld", "otf_edge", "propagate", "ptrepo_union"),
+    "io": ("stage_cache_read", "stage_cache_write", "checkpoint_write",
+           "result_store_put", "arena_attach", "arena_append"),
+    "parallel": ("worker_spawn", "worker_heartbeat",
+                 "frontier_send", "frontier_recv"),
+}
+
+#: Every instrumented trigger point, in (domain, pipeline) order.
+FAULT_POINTS = tuple(point for points in FAULT_DOMAINS.values()
+                     for point in points)
+
+#: One-line description per point (``repro-wpa --list-fault-points``).
+FAULT_DESCRIPTIONS: Dict[str, str] = {
+    "pre_meld": "pre-solve stage boundary (before VSFS versioning / "
+                "SFS worklist seeding)",
+    "otf_edge": "a new on-the-fly call edge is about to be wired into "
+                "the SVFG",
+    "propagate": "an indirect points-to propagation is starting",
+    "ptrepo_union": "a deduplicated-storage union is about to be applied "
+                    "(ptrepo only)",
+    "stage_cache_read": "a stage-cache entry is about to be probed "
+                        "(heals: quarantine + recompute)",
+    "stage_cache_write": "a fresh stage artifact is about to be persisted "
+                         "(heals: retry, then skip caching)",
+    "checkpoint_write": "a solver checkpoint is about to be sealed to disk "
+                        "(heals: retry, then skip the save)",
+    "result_store_put": "a completed result is about to enter the store "
+                        "(heals: retry, then skip the put)",
+    "arena_attach": "the shared mask arena is about to be opened/attached "
+                    "(heals: proceed arena-less)",
+    "arena_append": "freshly interned masks are about to be flushed to the "
+                    "arena (heals: skip the flush)",
+    "worker_spawn": "a parallel worker is about to be constructed "
+                    "(heals: respawn, counted against the failure budget)",
+    "worker_heartbeat": "the driver is about to wait on a worker's round "
+                        "reply (fires = the worker is treated as hung: "
+                        "kill-and-revive)",
+    "frontier_send": "a frontier batch delivery to a worker is starting "
+                     "(fires = the worker is lost: kill-and-revive)",
+    "frontier_recv": "a worker's round reply is being collected "
+                     "(fires = the reply is lost: kill-and-revive)",
+}
+
+
+def fault_domain(point: str) -> str:
+    """The domain *point* belongs to (:class:`AnalysisError` if unknown)."""
+    for domain, points in FAULT_DOMAINS.items():
+        if point in points:
+            return domain
+    raise AnalysisError(
+        f"unknown fault point {point!r}; choose from {FAULT_POINTS}")
+
+
+def describe_fault_points() -> str:
+    """Human-readable table of every fault point, grouped by domain."""
+    lines = ["--- fault points ---"]
+    for domain, points in FAULT_DOMAINS.items():
+        lines.append(f"[{domain}]")
+        for point in points:
+            lines.append(f"  {point:<18} {FAULT_DESCRIPTIONS[point]}")
+    lines.append(f"{len(FAULT_POINTS)} points; inject with FaultPlan(point=...)"
+                 f" or soak with `repro-wpa chaos`")
+    return "\n".join(lines)
 
 
 class FaultPlan:
@@ -44,7 +111,8 @@ class FaultPlan:
         drawn from a ``random.Random(seed)`` stream (deterministic).
     :param seed: seed for the probability stream.
     :param once: disarm after the first firing (default) so a degraded
-        re-run on a lower ladder rung can complete.
+        re-run on a lower ladder rung — or a self-healing retry — can
+        complete.
 
     ``hits`` counts every reached point (fired or not); ``fired`` records
     ``(point, stage, hit)`` triples for each injection, so tests can assert
@@ -67,6 +135,11 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self.hits: Dict[str, int] = {}
         self.fired: List[Tuple[str, str, int]] = []
+
+    @property
+    def domain(self) -> str:
+        """Domain of the targeted point (``"*"`` for wildcard plans)."""
+        return "*" if self.point == "*" else fault_domain(self.point)
 
     def _matches(self, point: str) -> bool:
         return self.point == "*" or self.point == point

@@ -141,8 +141,17 @@ class ResultStore:
 
     def put(self, module: Module, analysis: str, delta: bool, ptrepo: bool,
             result: Union[FlowSensitiveResult, AndersenResult],
-            ir_hash: Optional[str] = None) -> str:
-        """Persist *result* under its content key; returns the entry path."""
+            ir_hash: Optional[str] = None, faults: Any = None) -> str:
+        """Persist *result* under its content key; returns the entry path.
+
+        *faults* is an optional :class:`~repro.runtime.faults.FaultPlan`;
+        the ``result_store_put`` point fires before the write, so chaos
+        schedules can prove callers treat a failed put as skippable
+        (the answer is already computed — losing the cache entry may
+        never lose the run).
+        """
+        if faults is not None:
+            faults.fire("result_store_put", stage=f"store:{analysis}")
         ir_hash = ir_hash or ir_fingerprint(module)
         key = result_key(ir_hash, analysis, delta, ptrepo)
         path = self.entry_path(key)

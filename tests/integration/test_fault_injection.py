@@ -3,9 +3,11 @@
 Proves the robustness contract of repro.runtime over the full matrix of
 trigger point × solver × optimisation ablation:
 
-- with ``fallback=False`` every injected fault surfaces as a typed
-  :class:`~repro.errors.InjectedFault` carrying stage context (never an
-  untyped exception, never a wrong answer);
+- with ``fallback=False`` every injected **solver-domain** fault surfaces
+  as a typed :class:`~repro.errors.InjectedFault` carrying stage context
+  (never an untyped exception, never a wrong answer) — the io/parallel
+  domains added by the resilience layer are *absorbed* instead of
+  surfaced, and are covered by the self-heal and chaos tests;
 - with the degradation ladder the same fault costs precision, not the
   answer: the result is a *superset* of the precise points-to sets
   (sound may-analysis), tagged with ``precision_level``/``degraded_from``;
@@ -20,7 +22,7 @@ from repro.errors import BudgetExceeded, InjectedFault
 from repro.frontend import compile_c
 from repro.pipeline import AnalysisPipeline, analyze
 from repro.runtime import Budget, FaultPlan
-from repro.runtime.faults import FAULT_POINTS
+from repro.runtime.faults import FAULT_DOMAINS
 
 # Indirect calls (OTF edges), loads/stores through globals, and heap
 # allocation: every trigger point is reachable on this program.
@@ -49,7 +51,7 @@ ABLATIONS = {
 
 MATRIX = [
     (point, solver, ablation)
-    for point in FAULT_POINTS
+    for point in FAULT_DOMAINS["solver"]
     for solver in SOLVERS
     for ablation in ABLATIONS
 ]

@@ -107,3 +107,56 @@ class TestKillAndResume:
             seal_every=0, kill_after_round=1, kill_worker=0)
         assert_identical(result, serial_sfs)
         assert result.parallel.revivals >= 1
+
+
+class TestWatchdog:
+    """Driver-side worker supervision (DESIGN.md §12): hung and lost
+    workers are killed and revived from their last seal; a slot that
+    spends its failure budget raises a typed WorkerCrash the ladder
+    collapses onto the bit-identical serial rung."""
+
+    def test_hung_worker_times_out_and_revives(self, pipeline, serial_sfs):
+        from repro.parallel.driver import fork_available
+
+        if not fork_available():
+            pytest.skip("no fork start method on this platform")
+        result = solve_parallel(
+            pipeline.fresh_svfg(), "sfs", jobs=2, mode="fork",
+            seal_every=1, hang_after_round=1, hang_worker=1,
+            heartbeat_seconds=0.5)
+        assert_identical(result, serial_sfs)
+        assert result.parallel.heartbeat_timeouts >= 1
+        assert result.parallel.revivals >= 1
+        assert result.parallel.workers[1]["incarnation"] >= 1
+
+    def test_injected_heartbeat_fault_revives(self, pipeline, serial_sfs):
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan(point="worker_heartbeat")  # once=True
+        result = solve_parallel(pipeline.fresh_svfg(), "sfs", jobs=2,
+                                mode="inline", seal_every=1, faults=plan)
+        assert_identical(result, serial_sfs)
+        assert result.parallel.heartbeat_timeouts >= 1
+        assert plan.fired
+
+    def test_spawn_fault_respawns_within_budget(self, pipeline, serial_sfs):
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan(point="worker_spawn")
+        result = solve_parallel(pipeline.fresh_svfg(), "sfs", jobs=2,
+                                mode="inline", faults=plan)
+        assert_identical(result, serial_sfs)
+        assert result.parallel.worker_failures >= 1
+
+    def test_budget_exhaustion_is_typed_worker_crash(self, pipeline):
+        from repro.errors import SolverError, WorkerCrash
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan(point="frontier_send", probability=1.0, once=False)
+        with pytest.raises(WorkerCrash) as info:
+            solve_parallel(pipeline.fresh_svfg(), "sfs", jobs=2,
+                           mode="inline", faults=plan)
+        err = info.value
+        assert isinstance(err, SolverError)  # ladder-catchable by type
+        assert err.incident == "frontier-send"
+        assert err.failures >= 1

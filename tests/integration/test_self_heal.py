@@ -1,0 +1,228 @@
+"""Self-healing resilience, end to end (DESIGN.md §12).
+
+The degraded-not-dead contract: io-domain faults and on-disk corruption
+are absorbed — quarantine + recompute, retry + skip — with the incident
+recorded as ``self_heal`` events on the run report; parallel-domain
+faults are absorbed by the watchdog (kill-and-revive, then a collapse
+onto the bit-identical serial rung).  The answer is never wrong and the
+process never sees an untyped traceback.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import StageCache
+from repro.errors import WorkerCrash
+from repro.frontend import compile_c
+from repro.parallel.driver import solve_parallel
+from repro.pipeline import AnalysisPipeline
+from repro.runtime.checkpoint import CheckpointConfig
+from repro.runtime.degrade import solve_with_ladder
+from repro.runtime.faults import FaultPlan
+from repro.store import ResultStore
+
+SOURCE = """
+struct node { int v; struct node *f0; };
+struct node *g;
+struct node *cb1(struct node *a, struct node *b) { g = a; return b; }
+struct node *cb2(struct node *a, struct node *b) { g = b; return a; }
+fnptr h;
+int main(int c) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    if (c) { h = cb1; } else { h = cb2; }
+    struct node *r = h(n, g);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def _corrupt(path, payload=b"garbage {"):
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def _truncate(path, keep=16):
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[:keep])
+
+
+class TestWarmRunHealsCorruption:
+    """The acceptance scenario: corrupt stage-cache entry AND truncated
+    arena AND corrupt result entry — the warm run still answers."""
+
+    def _heal_points(self, report_path):
+        with open(report_path) as handle:
+            doc = json.load(handle)
+        heals = (doc.get("report") or {}).get("self_heal") or []
+        heals += doc.get("self_heal") or []
+        return {h.get("point") for h in heals}, doc
+
+    def test_cli_warm_run_self_heals(self, c_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        report_path = str(tmp_path / "report.json")
+        assert main(["-vfspta", c_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+
+        # Vandalise everything the warm run depends on.
+        stage_entries = glob.glob(os.path.join(store_dir, "stages", "*"))
+        result_entries = glob.glob(os.path.join(store_dir, "result-*.json"))
+        arena = os.path.join(store_dir, "arena.bin")
+        assert stage_entries and result_entries and os.path.exists(arena)
+        _corrupt(stage_entries[0])
+        _corrupt(result_entries[0])
+        _truncate(arena)
+
+        code = main(["-vfspta", c_file, "--store", store_dir,
+                     "--report-json", report_path])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "quarantined" in err and "recomputing" in err
+        points, doc = self._heal_points(report_path)
+        assert "stage_cache_read" in points
+        assert "result_store_get" in points
+        assert "arena_attach" in points  # truncated arena rebuilt
+        assert doc["report"]["precision_lost"] is False
+
+    def test_strict_io_restores_fail_fast(self, c_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["-vfspta", c_file, "--store", store_dir]) == 0
+        for entry in glob.glob(os.path.join(store_dir, "result-*.json")):
+            _corrupt(entry)
+        capsys.readouterr()
+        assert main(["-vfspta", c_file, "--store", store_dir,
+                     "--strict-io"]) == 3
+
+    def test_healed_answer_matches_clean_answer(self, tmp_path):
+        store = str(tmp_path / "store")
+        cache = StageCache(os.path.join(store, "stages"))
+        clean = AnalysisPipeline.from_source(SOURCE, cache=cache).vsfs()
+        for entry in glob.glob(os.path.join(store, "stages", "*")):
+            _corrupt(entry)
+        healed_pipeline = AnalysisPipeline.from_source(
+            SOURCE, cache=StageCache(os.path.join(store, "stages")))
+        healed = healed_pipeline.vsfs()
+        assert healed._pt == clean._pt
+        assert len(healed_pipeline.trace.heals) >= 1
+
+
+class TestCheckpointSkips:
+    def test_unwritable_checkpoints_skip_not_fail(self, tmp_path):
+        module = compile_c(SOURCE)
+        plan = FaultPlan(point="checkpoint_write", probability=1.0,
+                         once=False)
+        pipeline = AnalysisPipeline(module)
+        config = CheckpointConfig(str(tmp_path / "ck"), every_steps=1)
+        result = solve_with_ladder(pipeline, analysis="sfs", faults=plan,
+                                   checkpoint=config)
+        clean = AnalysisPipeline(compile_c(SOURCE)).sfs()
+        assert result._pt == clean._pt
+        report = result.report
+        assert not report.degraded
+        assert report.checkpoint_skips >= 1 and report.checkpoint_saves == 0
+        assert any(h.get("point") == "checkpoint_write"
+                   and h.get("action") == "skip-write"
+                   for h in report.self_heal)
+
+
+class TestWatchdogCollapse:
+    def test_budget_spend_collapses_bit_identical(self):
+        module = compile_c(SOURCE)
+        serial = AnalysisPipeline(module).sfs()
+        plan = FaultPlan(point="frontier_send", probability=1.0, once=False)
+        pipeline = AnalysisPipeline(module)
+        result = solve_with_ladder(pipeline, analysis="sfs-par", jobs=2,
+                                   faults=plan, parallel_mode="inline")
+        assert result._pt == serial._pt  # collapse costs nothing
+        report = result.report
+        assert report.degraded_from == "sfs-par"
+        assert report.precision_level == "sfs"
+        assert report.precision_lost is False
+        assert report.attempts[0].error_type == "WorkerCrash"
+
+    def test_worker_crash_is_typed_and_contextual(self):
+        module = compile_c(SOURCE)
+        pipeline = AnalysisPipeline(module)
+        plan = FaultPlan(point="frontier_recv", probability=1.0, once=False)
+        with pytest.raises(WorkerCrash) as info:
+            solve_parallel(pipeline.fresh_svfg(), "sfs", jobs=2,
+                           faults=plan, mode="inline",
+                           max_worker_failures=1)
+        err = info.value
+        assert err.worker >= 0 and err.failures == 1
+        assert err.incident == "frontier-recv"
+
+    def test_single_fault_revives_and_stays_parallel(self):
+        module = compile_c(SOURCE)
+        serial = AnalysisPipeline(module).sfs()
+        plan = FaultPlan(point="frontier_send")  # once=True: one incident
+        result = AnalysisPipeline(module).sfs_par(jobs=2, faults=plan,
+                                                  mode="inline")
+        assert result._pt == serial._pt
+        assert result.parallel.revivals >= 1
+        assert result.parallel.worker_failures >= 1
+        assert plan.fired  # the incident actually happened
+
+
+class TestResultStorePut:
+    def test_failed_put_is_skippable(self, tmp_path):
+        module = compile_c(SOURCE)
+        store = ResultStore(str(tmp_path / "results"))
+        result = AnalysisPipeline(module).sfs()
+        plan = FaultPlan(point="result_store_put", probability=1.0,
+                         once=False)
+        from repro.errors import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            store.put(module, "sfs", True, True, result, faults=plan)
+        # The caller-side contract (CLI/chaos): catch, skip, keep going —
+        # and a retried once=True plan heals through on the second try.
+        retry_plan = FaultPlan(point="result_store_put")
+        from repro.runtime.resilience import IO_RETRY
+
+        path = IO_RETRY.run(
+            lambda: store.put(module, "sfs", True, True, result,
+                              faults=retry_plan),
+            retry_on=(OSError, InjectedFault), sleep=lambda _s: None)
+        assert os.path.exists(path)
+        assert retry_plan.fired
+
+
+class TestChaosHarness:
+    def test_mini_soak_passes(self, capsys):
+        from repro.chaos import chaos_main
+
+        assert chaos_main(["--seeds", "2", "--analyses", "sfs",
+                           "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no garbage outcomes" in out
+
+    def test_schedule_listing(self, capsys):
+        from repro.chaos import chaos_main
+
+        assert chaos_main(["--list", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos schedule" in out and "pre_meld" in out
+
+    def test_schedule_is_deterministic_and_covering(self):
+        from repro.chaos import build_schedule
+        from repro.runtime.faults import FAULT_POINTS
+
+        runs = build_schedule(["sfs", "vsfs"], [1, 2], 8, 0)
+        again = build_schedule(["sfs", "vsfs"], [1, 2], 8, 0)
+        assert [(r.point, r.trigger, r.seed) for r in runs] == \
+            [(r.point, r.trigger, r.seed) for r in again]
+        targeted = {r.point for r in runs}
+        assert targeted == set(FAULT_POINTS)  # whole table, every soak

@@ -1,0 +1,207 @@
+"""Property tests for the self-healing I/O layer (DESIGN.md §12).
+
+One invariant, three media: an on-disk artifact — mask arena, solver
+checkpoint, stage-cache entry — corrupted by a byte flip or truncation
+at an *arbitrary* offset must never produce garbage downstream.  Each
+load either
+
+- self-heals (the resilient wrapper quarantines/rebuilds and the caller
+  gets a correct answer), or
+- raises a **typed** quarantining error (:class:`CheckpointError` /
+  :class:`ArenaError`) at the strict layer.
+
+Never an untyped exception, never silently different data.
+"""
+
+import os
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datastructs.arena import ArenaError, PTArena
+from repro.datastructs.mde import MdeEngine
+from repro.engine import Engine, StageCache, StageContext
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import load_checkpoint
+from repro.store.atomic import write_sealed_json
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+SOURCE = """
+int *g; int x; int y;
+int main() { g = &x; int *a; a = g; g = &y; return 0; }
+"""
+
+
+def _mutilate(path: str, offset: int, mode: str, bit: int) -> None:
+    """Flip one bit at *offset* (mod size) or truncate there."""
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    if not data:
+        return
+    offset %= len(data)
+    if mode == "truncate":
+        data = data[:offset]
+    else:
+        data[offset] ^= 1 << bit
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+
+
+corruption = st.tuples(st.integers(min_value=0, max_value=10 ** 6),
+                       st.sampled_from(["flip", "truncate"]),
+                       st.integers(min_value=0, max_value=7))
+
+
+class TestArenaCorruption:
+    @pytest.fixture
+    def arena_file(self, tmp_path):
+        path = str(tmp_path / "arena.bin")
+        arena = PTArena.open(path)
+        arena.append_masks([0, 1, (1 << 130) | 5, 0xDEADBEEF, 7 << 64])
+        arena.close()
+        return path
+
+    @RELAXED
+    @given(corruption)
+    def test_writer_open_never_raises(self, arena_file, corruption):
+        offset, mode, bit = corruption
+        work = arena_file + ".case"
+        shutil.copyfile(arena_file, work)
+        _mutilate(work, offset, mode, bit)
+        # The resilient writer-side open: a structurally damaged arena is
+        # quarantined and a fresh one created in its place; a surviving
+        # one attaches.  Both ways the engine comes up — never an
+        # exception escapes.
+        engine = MdeEngine.open(work)
+        if engine.arena_quarantined is not None:
+            assert os.path.exists(engine.arena_quarantined)
+        if engine.arena is not None:
+            engine.arena.close()
+        for name in os.listdir(os.path.dirname(work)):
+            if ".case" in name:
+                os.remove(os.path.join(os.path.dirname(work), name))
+
+    @RELAXED
+    @given(corruption)
+    def test_strict_attach_is_typed_or_structurally_sound(self, arena_file,
+                                                          corruption):
+        offset, mode, bit = corruption
+        work = arena_file + ".case"
+        shutil.copyfile(arena_file, work)
+        _mutilate(work, offset, mode, bit)
+        # The strict reader (worker side): either the structure validates
+        # and every record walks cleanly, or a typed ArenaError.
+        try:
+            arena = PTArena.attach(work)
+        except ArenaError:
+            pass
+        else:
+            arena.close()
+        finally:
+            os.remove(work)
+
+
+class TestCheckpointCorruption:
+    @pytest.fixture
+    def checkpoint_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        write_sealed_json(path, "checkpoint", 1,
+                          {"ir_hash": "x" * 8, "analysis": "sfs",
+                           "delta": True, "ptrepo": True, "step": 12},
+                          {"worklist": [1, 2, 3], "pt": ["0x5"]})
+        return path
+
+    @RELAXED
+    @given(corruption)
+    def test_load_is_exact_or_typed(self, checkpoint_file, corruption):
+        offset, mode, bit = corruption
+        work = checkpoint_file + ".case"
+        shutil.copyfile(checkpoint_file, work)
+        _mutilate(work, offset, mode, bit)
+        try:
+            meta, payload = load_checkpoint(work)
+        except CheckpointError as err:
+            # Typed, and the damaged file was quarantined: the next
+            # supervisor retry starts fresh instead of tripping again.
+            assert err.reason in ("missing", "corrupt", "schema", "kind")
+            assert not os.path.exists(work)
+        else:
+            # The flip hit a byte the seal ignores: data must be EXACT.
+            assert meta["step"] == 12
+            assert payload == {"worklist": [1, 2, 3], "pt": ["0x5"]}
+        for leftover in [work] + [work + s for s in (".quarantined",)]:
+            if os.path.exists(leftover):
+                os.remove(leftover)
+
+
+class TestStageCacheCorruption:
+    @pytest.fixture
+    def warm_cache_dir(self, tmp_path):
+        cache_dir = str(tmp_path / "stages")
+        cache = StageCache(cache_dir)
+        ctx = StageContext(module=None, source=SOURCE, language="c",
+                           cache=cache)
+        engine = Engine(ctx)
+        engine.ensure("versioning")
+        baseline = engine.solve("vsfs").snapshot()
+        return cache_dir, baseline
+
+    def _entries(self, cache_dir):
+        return sorted(os.path.join(cache_dir, name)
+                      for name in os.listdir(cache_dir)
+                      if not name.endswith(".quarantined"))
+
+    @RELAXED
+    @given(st.data())
+    def test_default_mode_heals_to_the_exact_answer(self, warm_cache_dir,
+                                                    data):
+        cache_dir, baseline = warm_cache_dir
+        entries = self._entries(cache_dir)
+        victim = data.draw(st.sampled_from(entries))
+        offset, mode, bit = data.draw(corruption)
+        backup = victim + ".orig"
+        shutil.copyfile(victim, backup)
+        _mutilate(victim, offset, mode, bit)
+        try:
+            ctx = StageContext(module=None, source=SOURCE, language="c",
+                               cache=StageCache(cache_dir))
+            engine = Engine(ctx)
+            # Whatever the corruption did — detected (quarantine +
+            # recompute, heal recorded) or harmless — the answer is
+            # bit-identical to the warm baseline.  Never garbage.
+            assert engine.solve("vsfs").snapshot() == baseline
+        finally:
+            shutil.move(backup, victim)  # restore warmth for the next case
+            for name in os.listdir(cache_dir):
+                if name.endswith(".quarantined"):
+                    os.remove(os.path.join(cache_dir, name))
+
+    @RELAXED
+    @given(st.data())
+    def test_strict_mode_is_exact_or_typed(self, warm_cache_dir, data):
+        cache_dir, baseline = warm_cache_dir
+        entries = self._entries(cache_dir)
+        victim = data.draw(st.sampled_from(entries))
+        offset, mode, bit = data.draw(corruption)
+        backup = victim + ".orig"
+        shutil.copyfile(victim, backup)
+        _mutilate(victim, offset, mode, bit)
+        try:
+            ctx = StageContext(module=None, source=SOURCE, language="c",
+                               cache=StageCache(cache_dir),
+                               strict_cache=True)
+            engine = Engine(ctx)
+            try:
+                snapshot = engine.solve("vsfs").snapshot()
+            except CheckpointError:
+                pass  # typed fail-fast: the strict contract
+            else:
+                assert snapshot == baseline
+        finally:
+            shutil.move(backup, victim)
+            for name in os.listdir(cache_dir):
+                if name.endswith(".quarantined"):
+                    os.remove(os.path.join(cache_dir, name))

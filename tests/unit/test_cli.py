@@ -215,3 +215,32 @@ class TestBudgetAndReportFlags:
         budgeted = capsys.readouterr().out
         pts = lambda text: [l for l in text.splitlines() if l.startswith("pt(")]
         assert pts(baseline) == pts(budgeted) != []
+
+
+class TestResilienceFlags:
+    def test_list_fault_points_needs_no_file(self, capsys):
+        assert main(["--list-fault-points"]) == 0
+        out = capsys.readouterr().out
+        assert "--- fault points ---" in out
+        for domain in ("[solver]", "[io]", "[parallel]"):
+            assert domain in out
+        assert "worker_heartbeat" in out and "stage_cache_read" in out
+
+    def test_list_fault_points_flag_parses_with_file(self):
+        args = build_arg_parser().parse_args(["--list-fault-points", "p.c"])
+        assert args.list_fault_points
+
+    def test_strict_io_flag_parses(self):
+        args = build_arg_parser().parse_args(["--strict-io", "p.c"])
+        assert args.strict_io
+        assert not build_arg_parser().parse_args(["p.c"]).strict_io
+
+    def test_chaos_list_subcommand(self, capsys):
+        assert main(["chaos", "--list", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos schedule" in out
+        assert "sfs/j1" in out and "vsfs/j2" in out
+
+    def test_chaos_rejects_unknown_analysis(self, capsys):
+        assert main(["chaos", "--analyses", "tensor", "--list"]) == 1
+        assert "unknown analysis" in capsys.readouterr().err

@@ -124,6 +124,9 @@ class TestInvalidation:
 
 
 class TestCorruption:
+    """Strict mode: corruption raises (the pre-resilience contract the
+    engine-level self-healing defaults away from; see TestSelfHealing)."""
+
     def _cold_entry(self, tmp_path, stage):
         engine, cache = engine_with_cache(tmp_path)
         engine.ensure("versioning")
@@ -133,7 +136,7 @@ class TestCorruption:
         path = self._cold_entry(tmp_path, "svfg")
         with open(path, "w") as handle:
             handle.write("not json {")
-        warm, cache = engine_with_cache(tmp_path)
+        warm, cache = engine_with_cache(tmp_path, strict_cache=True)
         with pytest.raises(CheckpointError):
             warm.ensure("svfg")
         assert not os.path.exists(path)
@@ -147,7 +150,7 @@ class TestCorruption:
         doc["payload"]["digest"] = "0" * 64  # wrong digest, checksum stale
         with open(path, "w") as handle:
             json.dump(doc, handle)
-        warm, cache = engine_with_cache(tmp_path)
+        warm, cache = engine_with_cache(tmp_path, strict_cache=True)
         with pytest.raises(CheckpointError):
             warm.ensure("memssa")
         assert cache.quarantined
@@ -161,7 +164,7 @@ class TestCorruption:
         meta, _ = read_sealed_json(path, StageCache.KIND, 1)
         write_sealed_json(path, StageCache.KIND, 1, meta,
                           {"digest": "0" * 64})
-        warm, cache = engine_with_cache(tmp_path)
+        warm, cache = engine_with_cache(tmp_path, strict_cache=True)
         with pytest.raises(CheckpointError) as excinfo:
             warm.ensure("svfg")
         assert excinfo.value.reason == "corrupt"
@@ -172,7 +175,7 @@ class TestCorruption:
         path = self._cold_entry(tmp_path, "svfg")
         with open(path, "w") as handle:
             handle.write("garbage")
-        broken, _ = engine_with_cache(tmp_path)
+        broken, _ = engine_with_cache(tmp_path, strict_cache=True)
         with pytest.raises(CheckpointError):
             broken.ensure("svfg")
         # The bad entry is gone, so the next run is a clean miss+rebuild.
@@ -180,3 +183,56 @@ class TestCorruption:
         recovered.ensure("svfg")
         assert cache.hits >= 1  # upstream stages still hit
         assert os.path.exists(path)  # entry rewritten from the fresh build
+
+
+class TestSelfHealing:
+    """Default mode: corruption quarantines, recomputes, and re-stores —
+    the run completes and the incident lands on the trace (DESIGN.md §12)."""
+
+    def _cold_entry(self, tmp_path, stage):
+        engine, cache = engine_with_cache(tmp_path)
+        engine.ensure("versioning")
+        return cache.entry_path(stage, engine.fingerprint(stage))
+
+    def test_garbage_entry_recomputes_and_restores(self, tmp_path):
+        path = self._cold_entry(tmp_path, "svfg")
+        with open(path, "w") as handle:
+            handle.write("not json {")
+        warm, cache = engine_with_cache(tmp_path)
+        artifact = warm.ensure("svfg")  # completes instead of raising
+        assert artifact is not None
+        assert cache.quarantined and glob.glob(path + "*.quarantined")
+        assert os.path.exists(path)  # healed entry rewritten in place
+        heals = warm.trace.heals
+        assert any(h.get("action") == "recompute"
+                   and h.get("point") == "stage_cache_read" for h in heals)
+        record = warm.trace.record_for("svfg")
+        assert record.cache == "miss" and record.outcome == "ok"
+
+    def test_wrong_replay_digest_heals_to_rebuild(self, tmp_path):
+        from repro.store.atomic import read_sealed_json, write_sealed_json
+
+        path = self._cold_entry(tmp_path, "svfg")
+        meta, _ = read_sealed_json(path, StageCache.KIND, 1)
+        write_sealed_json(path, StageCache.KIND, 1, meta,
+                          {"digest": "0" * 64})
+        warm, cache = engine_with_cache(tmp_path)
+        warm.ensure("svfg")
+        assert cache.quarantined
+        assert any(h.get("reason") == "digest-mismatch"
+                   for h in warm.trace.heals)
+        # The healed entry carries the *rebuild's* digest: a third run
+        # is a clean replay hit again.
+        third, cache3 = engine_with_cache(tmp_path)
+        third.ensure("svfg")
+        assert third.trace.record_for("svfg").cache == "replay"
+        assert not third.trace.heals
+
+    def test_healed_run_matches_clean_run(self, tmp_path):
+        path = self._cold_entry(tmp_path, "svfg")
+        clean, _ = engine_with_cache(tmp_path)
+        clean_snapshot = clean.solve("vsfs").snapshot()
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        healed, _ = engine_with_cache(tmp_path)
+        assert healed.solve("vsfs").snapshot() == clean_snapshot
