@@ -33,6 +33,26 @@ ladder disabled — the typed-failure path).
 The default program is the generated ``du`` suite workload — the
 smallest benchmark with real call/heap structure, known to shard across
 workers — so every fault point is actually reachable.
+
+``--daemon`` soaks the always-on service (:mod:`repro.service`) instead
+of the batch pipeline: per (analysis, service fault point, seed) it
+boots a fresh daemon on a shared warm store, fires a mixed query burst
+(analyze / alias / nullderef / slice) through the faulted request path,
+and classifies every response against a fault-free baseline burst:
+
+- ``healed`` — the fault was absorbed (revived worker, cache-less
+  session, quarantined store entry) and every answer is bit-identical;
+- ``shed`` — admission control turned the fault into a typed
+  ``ServiceOverloaded`` with a retry-after hint;
+- ``degraded`` — the answer lost precision but is a verified sound
+  superset of the baseline (masks / may-alias / warnings / slice nodes);
+- ``typed-failure`` — a typed error response (never a dropped
+  connection or a traceback on the wire).
+
+Anything else is ``garbage`` and fails the soak.  After the matrix, a
+fresh fault-free daemon is **warm-restarted** onto each store and must
+answer the whole burst bit-identically to the cold baseline — the
+crash-safe-restart contract, checked per query type.
 """
 
 from __future__ import annotations
@@ -56,6 +76,9 @@ SERIAL_POINTS: Tuple[str, ...] = (FAULT_DOMAINS["solver"]
 #: loops, out of reach of the driver-side plan).
 PARALLEL_POINTS: Tuple[str, ...] = (FAULT_DOMAINS["parallel"]
                                     + FAULT_DOMAINS["io"])
+
+#: Points the ``--daemon`` soak targets (the service request path).
+SERVICE_POINTS: Tuple[str, ...] = FAULT_DOMAINS["service"]
 
 #: Offset stride between configurations' point cycles: staggers which
 #: points each configuration exercises so the default 8-seed matrix
@@ -263,6 +286,318 @@ def _baseline(source: str, analysis: str, jobs: int, mode: Optional[str],
     return list(result._pt)
 
 
+# ----------------------------------------------------------- daemon soak
+
+#: Run-verdict severity: a burst's verdict is its worst response class.
+_DAEMON_SEVERITY = ("healed", "degraded", "shed", "typed-failure", "garbage")
+
+
+class DaemonRun:
+    """One scheduled faulted daemon boot + query burst and its verdict."""
+
+    def __init__(self, analysis: str, seed: int, point: str, trigger: str):
+        self.analysis = analysis
+        self.seed = seed
+        self.point = point
+        self.trigger = trigger  # "once" | "repeat"
+        self.outcome = ""  # healed|shed|degraded|typed-failure|garbage
+        self.detail = ""
+        self.fired = 0
+        self.classes: List[str] = []  # per-response classification
+
+    @property
+    def domain(self) -> str:
+        return "service"
+
+    def describe(self) -> str:
+        verdict = self.outcome or "pending"
+        extra = f" ({self.detail})" if self.detail else ""
+        return (f"daemon/{self.analysis} seed={self.seed} {self.point} "
+                f"[{self.trigger}] -> {verdict}{extra}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "analysis": self.analysis,
+            "seed": self.seed,
+            "point": self.point,
+            "domain": self.domain,
+            "trigger": self.trigger,
+            "outcome": self.outcome,
+            "detail": self.detail or None,
+            "fired": self.fired,
+            "responses": self.classes,
+        }
+
+
+def build_daemon_schedule(analyses: List[str], seeds: int,
+                          seed_base: int) -> List[DaemonRun]:
+    """Full cross product: analyses × service points × seeds."""
+    runs: List[DaemonRun] = []
+    for analysis in analyses:
+        for point in SERVICE_POINTS:
+            for index in range(seeds):
+                trigger = "repeat" if index % 3 == 2 else "once"
+                runs.append(DaemonRun(analysis, seed_base + index, point,
+                                      trigger))
+    return runs
+
+
+def _daemon_service(store_dir: str, plan=None):
+    from repro.service.server import AnalysisService, ServiceConfig
+
+    config = ServiceConfig(store_dir=store_dir, workers=2,
+                           default_deadline_s=None, faults=plan)
+    return AnalysisService(config).start()
+
+
+def _daemon_requests(source: str, analysis: str,
+                     probes: Dict[str, Optional[str]]) -> List[Dict]:
+    requests: List[Dict] = [
+        {"op": "analyze", "id": "q-analyze", "program": source,
+         "analysis": analysis},
+        {"op": "alias", "id": "q-alias", "program": source,
+         "analysis": analysis,
+         "params": {"a": probes["a"], "b": probes["b"]}},
+        {"op": "nullderef", "id": "q-nullderef", "program": source,
+         "analysis": analysis},
+    ]
+    if probes.get("slice"):
+        requests.append(
+            {"op": "slice", "id": "q-slice", "program": source,
+             "analysis": analysis,
+             "params": {"var": probes["slice"], "direction": "backward"}})
+    return requests
+
+
+def _daemon_burst(service, requests: List[Dict]) -> List:
+    import json
+
+    return [service.handle_line(json.dumps(request))
+            for request in requests]
+
+
+def _normalize_response(response) -> Dict[str, object]:
+    """Wire dict minus the volatile fields (identity = the answer)."""
+    payload = response.to_dict()
+    for key in ("elapsed_s", "heals", "retries", "cached"):
+        payload.pop(key, None)
+    return payload
+
+
+def _daemon_sound(op: str, base: Dict, got: Dict) -> bool:
+    """A degraded answer may only ADD may-facts, never drop any."""
+    from repro.store.atomic import dec_mask_list
+
+    if op == "analyze":
+        return _sound_superset(dec_mask_list(base["masks"]),
+                               dec_mask_list(got["masks"]))
+    if op == "alias":
+        return bool(got["may_alias"]) or not base["may_alias"]
+    if op == "nullderef":
+        return set(base["warnings"]) <= set(got["warnings"])
+    if op == "slice":
+        return set(base["nodes"]) <= set(got["nodes"])
+    return False
+
+
+def _classify_response(base_norm: Dict, response) -> Tuple[str, str]:
+    """(class, detail) for one faulted-burst response vs its baseline."""
+    if not response.ok:
+        etype = (response.error or {}).get("type", "")
+        if etype == "ServiceOverloaded":
+            return "shed", etype
+        if etype == "InternalError":
+            exc = (response.error or {}).get("exception", "?")
+            return "garbage", f"untyped {exc} escaped to the wire"
+        return "typed-failure", etype
+    if response.precision_lost:
+        if _daemon_sound(response.op, base_norm["result"], response.result):
+            return "degraded", f"to {response.precision_level}"
+        return "garbage", "unsound degraded answer"
+    if _normalize_response(response) == base_norm:
+        return "healed", ""
+    return "garbage", "answer diverged from baseline"
+
+
+def _daemon_baseline(source: str, analysis: str, store_dir: str,
+                     ) -> Tuple[List[Dict], Dict[str, Optional[str]]]:
+    """Fault-free reference burst; discovers query probes and warms the
+    store.  Returns (normalized responses, probes)."""
+    import json
+
+    service = _daemon_service(store_dir)
+    try:
+        analyze = service.handle_line(json.dumps(
+            {"op": "analyze", "id": "probe", "program": source,
+             "analysis": analysis}))
+        if not analyze.ok:
+            raise ReproError(f"daemon baseline analyze failed: "
+                             f"{analyze.error}")
+        variables = analyze.result["variables"]
+        if not variables:
+            raise ReproError("daemon soak program has no top-level "
+                             "variables to query")
+        probes: Dict[str, Optional[str]] = {
+            "a": variables[0],
+            "b": variables[1] if len(variables) > 1 else variables[0],
+            "slice": None,
+        }
+        for name in variables[:16]:
+            response = service.handle_line(json.dumps(
+                {"op": "slice", "id": "probe", "program": source,
+                 "analysis": analysis, "params": {"var": name}}))
+            if response.ok:
+                probes["slice"] = name
+                break
+        responses = _daemon_burst(service,
+                                  _daemon_requests(source, analysis, probes))
+    finally:
+        service.drain(reply_grace_s=10.0)
+    for response in responses:
+        if not response.ok or response.precision_lost or response.heals:
+            raise ReproError(
+                f"daemon baseline for {analysis} was not clean: "
+                f"{response.encode()}")
+    return [_normalize_response(r) for r in responses], probes
+
+
+def execute_daemon_run(run: DaemonRun, source: str, store_dir: str,
+                       baseline: List[Dict],
+                       probes: Dict[str, Optional[str]]) -> None:
+    """Boot a faulted daemon, fire the burst, stamp the verdict."""
+    plan = _make_plan(run)
+    try:
+        service = _daemon_service(store_dir, plan=plan)
+        try:
+            responses = _daemon_burst(
+                service, _daemon_requests(source, run.analysis, probes))
+        finally:
+            service.drain(reply_grace_s=10.0)
+    except Exception as exc:  # noqa: BLE001 — garbage detector by design
+        run.outcome = "garbage"
+        run.detail = f"untyped {type(exc).__name__}: {exc}"
+        run.fired = len(plan.fired)
+        return
+    details: List[str] = []
+    for base_norm, response in zip(baseline, responses):
+        klass, detail = _classify_response(base_norm, response)
+        run.classes.append(klass)
+        if detail:
+            details.append(f"{response.op or 'decode'}: {detail}")
+    run.outcome = max(run.classes, key=_DAEMON_SEVERITY.index)
+    run.detail = "; ".join(details)
+    run.fired = len(plan.fired)
+    if not plan.fired and run.outcome == "healed":
+        run.detail = "not-reached"
+
+
+def _daemon_warm_check(source: str, analysis: str, store_dir: str,
+                       baseline: List[Dict],
+                       probes: Dict[str, Optional[str]]) -> List[str]:
+    """Warm-restart a fault-free daemon on the soaked store; every query
+    type must answer bit-identically to the cold baseline.  Returns the
+    ids of mismatching responses (empty = contract holds)."""
+    service = _daemon_service(store_dir)
+    try:
+        responses = _daemon_burst(service,
+                                  _daemon_requests(source, analysis, probes))
+    finally:
+        service.drain(reply_grace_s=10.0)
+    return [response.id for base_norm, response in zip(baseline, responses)
+            if _normalize_response(response) != base_norm]
+
+
+def _daemon_soak(args: argparse.Namespace, analyses: List[str],
+                 source: str) -> int:
+    runs = build_daemon_schedule(analyses, max(1, args.seeds),
+                                 args.seed_base)
+    if args.list:
+        print(f"--- chaos daemon schedule: {len(runs)} runs ---")
+        for run in runs:
+            print(f"  daemon/{run.analysis:<5} seed={run.seed:<3} "
+                  f"{run.point:<16} [{run.trigger}]")
+        return 0
+    print(f"--- chaos daemon soak: {len(analyses)} analyses x "
+          f"{len(SERVICE_POINTS)} points x {args.seeds} seeds "
+          f"= {len(runs)} runs ---")
+    warm_failures: List[Tuple[str, List[str]]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-daemon-") as root:
+        for analysis in analyses:
+            store_dir = os.path.join(root, f"svc-{analysis}")
+            try:
+                baseline, probes = _daemon_baseline(source, analysis,
+                                                    store_dir)
+            except ReproError as err:
+                print(f"repro-wpa chaos: error: {err}", file=sys.stderr)
+                return 3
+            for run in [r for r in runs if r.analysis == analysis]:
+                execute_daemon_run(run, source, store_dir, baseline, probes)
+                print(f"  {run.describe()}")
+            mismatches = _daemon_warm_check(source, analysis, store_dir,
+                                            baseline, probes)
+            if mismatches:
+                warm_failures.append((analysis, mismatches))
+            else:
+                print(f"  daemon/{analysis} warm-restart: bit-identical "
+                      f"({len(baseline)} query types)")
+    return _daemon_report(runs, warm_failures, args)
+
+
+def _daemon_report(runs: List[DaemonRun],
+                   warm_failures: List[Tuple[str, List[str]]],
+                   args: argparse.Namespace) -> int:
+    counts: Dict[str, int] = {}
+    for run in runs:
+        counts[run.outcome] = counts.get(run.outcome, 0) + 1
+    garbage = [run for run in runs if run.outcome == "garbage"]
+    unclassified = [run for run in runs
+                    if run.outcome not in _DAEMON_SEVERITY]
+    exercised = {run.point for run in runs if run.fired}
+    missing = sorted(set(SERVICE_POINTS) - exercised)
+
+    summary = ", ".join(f"{kind}: {counts[kind]}"
+                        for kind in _DAEMON_SEVERITY if kind in counts)
+    print(f"outcomes: {summary}")
+    print(f"coverage: {len(exercised)}/{len(SERVICE_POINTS)} service fault "
+          f"points fired" + (f" (missing: {', '.join(missing)})"
+                             if missing else ""))
+
+    ok = (not garbage and not unclassified and not warm_failures
+          and not (args.require_coverage and missing))
+    for run in garbage + unclassified:
+        print(f"repro-wpa chaos: FAIL: {run.describe()}", file=sys.stderr)
+    for analysis, ids in warm_failures:
+        print(f"repro-wpa chaos: FAIL: daemon/{analysis} warm restart "
+              f"diverged from the cold baseline: {', '.join(ids)}",
+              file=sys.stderr)
+    if ok:
+        print("chaos daemon soak passed: no garbage outcomes, "
+              "warm restarts bit-identical")
+    elif not garbage and not unclassified and not warm_failures:
+        print("repro-wpa chaos: FAIL: coverage incomplete "
+              "(--require-coverage)", file=sys.stderr)
+
+    if args.output:
+        from repro.store.atomic import atomic_write_json
+
+        atomic_write_json(args.output, {
+            "mode": "daemon",
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "runs": [run.to_dict() for run in runs],
+            "outcomes": counts,
+            "warm_restart": {"failures": [
+                {"analysis": analysis, "responses": ids}
+                for analysis, ids in warm_failures]},
+            "coverage": {"applicable": sorted(SERVICE_POINTS),
+                         "exercised": sorted(exercised),
+                         "missing": missing},
+            "ok": ok,
+        })
+        print(f"chaos record written to {args.output}")
+    return 0 if ok else 3
+
+
 # ------------------------------------------------------------------ driver
 
 def _default_source() -> str:
@@ -278,6 +613,11 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         description="Seeded fault-injection soak: every run must end "
                     "bit-identical, verifiably degraded, or typed-failed "
                     "- never garbage.")
+    parser.add_argument("--daemon", action="store_true",
+                        help="soak the always-on analysis service "
+                             "(service fault domain: per-point daemon "
+                             "boots, mixed query bursts, warm-restart "
+                             "bit-identity) instead of the batch pipeline")
     parser.add_argument("--seeds", type=int, default=8, metavar="N",
                         help="seeds per configuration (default 8)")
     parser.add_argument("--seed-base", type=int, default=0, metavar="B",
@@ -310,6 +650,17 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
             print(f"repro-wpa chaos: error: unknown analysis {analysis!r} "
                   f"(want sfs/vsfs)", file=sys.stderr)
             return 1
+    if args.daemon:
+        if args.program is not None and not args.list:
+            try:
+                with open(args.program) as handle:
+                    daemon_source = handle.read()
+            except OSError as err:
+                print(f"repro-wpa chaos: error: {err}", file=sys.stderr)
+                return 1
+        else:
+            daemon_source = "" if args.list else _default_source()
+        return _daemon_soak(args, analyses, daemon_source)
     try:
         jobs_list = sorted({max(1, int(j)) for j in args.jobs.split(",") if j})
     except ValueError:

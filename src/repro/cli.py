@@ -25,7 +25,9 @@ substrate stages marked excluded from the timed main phase.
 ``repro-wpa batch ...`` runs a supervised multi-program batch (see
 :mod:`repro.batch`); ``repro-wpa chaos ...`` runs the seeded
 fault-injection soak harness (see :mod:`repro.chaos`);
-``--list-fault-points`` prints the injectable fault points by domain.
+``repro-wpa serve ...`` starts the always-on analysis daemon (see
+:mod:`repro.service`); ``--list-fault-points`` prints the injectable
+fault points by domain.
 
 Resilience: corrupt store/cache entries are quarantined and the answer
 recomputed (a warning, not a failure) unless ``--strict-io`` restores
@@ -35,7 +37,10 @@ is still stored and the message is a notice, not a warning.
 
 Exit codes: 0 success, 1 I/O error, 2 parse/IR error, 3 analysis error
 (including an exhausted budget under ``--no-fallback``, and — under
-``--strict-io`` — any rejected or corrupt checkpoint/store artifact).
+``--strict-io`` — any rejected or corrupt checkpoint/store artifact),
+4 parallel worker-crash budget spent under ``--no-fallback`` (with
+fallback the run collapses onto the serial twin instead).  The full
+table lives in README.md §Exit codes.
 """
 
 from __future__ import annotations
@@ -45,7 +50,22 @@ import sys
 import tracemalloc
 from typing import List, Optional
 
-from repro.errors import CheckpointError, IRError, ParseError, ReproError
+from repro.errors import (
+    CheckpointError,
+    IRError,
+    ParseError,
+    ReproError,
+    WorkerCrash,
+)
+
+#: CLI exit codes (documented in README.md §Exit codes).  ``batch``
+#: treats EXIT_INPUT as a permanent input problem (no retry); every
+#: other nonzero code is retried up to its attempt budget.
+EXIT_OK = 0
+EXIT_IO = 1
+EXIT_INPUT = 2
+EXIT_ANALYSIS = 3
+EXIT_WORKER_CRASH = 4
 from repro.pipeline import AnalysisPipeline, _load_resume_state
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import CheckpointConfig
@@ -174,6 +194,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.chaos import chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
     if "--list-fault-points" in argv:
         # Informational: valid without a program file, so intercept
         # before argparse enforces the positional.
@@ -195,7 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             source = handle.read()
     except OSError as err:
         print(f"repro-wpa: error: {err}", file=sys.stderr)
-        return 1
+        return EXIT_IO
     try:
         return _run(args, source)
     except ReproError as err:
@@ -203,7 +227,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = getattr(err, "run_report", None)
         if args.report and report is not None:
             print(report.render(), file=sys.stderr)
-        return 2 if isinstance(err, (ParseError, IRError)) else 3
+        if isinstance(err, (ParseError, IRError)):
+            return EXIT_INPUT
+        if isinstance(err, WorkerCrash):
+            # Distinguishable from analysis errors so supervisors can
+            # react (e.g. retry serially) without parsing stderr.
+            return EXIT_WORKER_CRASH
+        return EXIT_ANALYSIS
 
 
 def _checkpoint_config(args: argparse.Namespace) -> Optional[CheckpointConfig]:
@@ -474,20 +504,21 @@ def _client_flags(args: argparse.Namespace, module, pipeline, result) -> int:
 
     if args.dot_svfg:
         from repro.core.versioning import ObjectVersioning
+        from repro.store.atomic import atomic_write_text
         from repro.viz.dot import svfg_to_dot
 
         svfg = pipeline.svfg()
         versioning = ObjectVersioning(svfg, keep_all_versions=True).run()
-        with open(args.dot_svfg, "w") as handle:
-            handle.write(svfg_to_dot(svfg, versioning=versioning))
+        atomic_write_text(args.dot_svfg, svfg_to_dot(svfg,
+                                                     versioning=versioning))
         print(f"SVFG written to {args.dot_svfg}")
 
     if args.dot_callgraph:
+        from repro.store.atomic import atomic_write_text
         from repro.viz.dot import callgraph_to_dot
 
         graph = result.callgraph if hasattr(result, "callgraph") else pipeline.andersen().callgraph
-        with open(args.dot_callgraph, "w") as handle:
-            handle.write(callgraph_to_dot(graph))
+        atomic_write_text(args.dot_callgraph, callgraph_to_dot(graph))
         print(f"call graph written to {args.dot_callgraph}")
     return 0
 

@@ -170,6 +170,17 @@ class StageTrace:
     def cache_hits(self) -> int:
         return sum(1 for r in self.records if r.cache_hit)
 
+    def retry_attempts(self) -> int:
+        """Transient-I/O retries attempted (``RetryPolicy`` re-runs that
+        healed or preceded a give-up), summed across the heal trail."""
+        return sum(1 for heal in self.heals if heal.get("action") == "retry")
+
+    def retry_give_ups(self) -> int:
+        """Operations abandoned after the retry budget was spent (the
+        ``skip-*`` heal actions: the run continued without the write)."""
+        return sum(1 for heal in self.heals
+                   if str(heal.get("action", "")).startswith("skip"))
+
     def record_for(self, stage: str) -> Optional[StageRecord]:
         """The most recent completed record for *stage* (None if never ran)."""
         for record in reversed(self.records):
@@ -209,4 +220,9 @@ class StageTrace:
             f"substrate: {self.substrate_wall():.4f}s (excluded from main "
             f"phase); main phase: {self.main_phase_wall():.4f}s; "
             f"cache hits: {self.cache_hits()}")
+        if self.heals:
+            lines.append(
+                f"resilience: {len(self.heals)} heal(s), "
+                f"{self.retry_attempts()} retry attempt(s), "
+                f"{self.retry_give_ups()} give-up(s)")
         return "\n".join(lines)

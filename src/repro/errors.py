@@ -127,6 +127,58 @@ class BudgetExceeded(AnalysisError):
         return self
 
 
+class ServiceError(ReproError):
+    """Base class for typed failures of the analysis daemon (`repro-wpa
+    serve`).
+
+    Every request the service cannot answer gets one of these — encoded
+    as a typed error *response* on the wire, never a dropped connection
+    or a traceback.  The subclasses map onto the admission-control
+    contract: :class:`InvalidRequest` (the request itself is bad),
+    :class:`ServiceOverloaded` (load was shed; retry after the hinted
+    delay), :class:`DeadlineExceeded` (the request's deadline passed
+    before an answer was ready).
+    """
+
+
+class InvalidRequest(ServiceError):
+    """A service request that cannot be decoded or names an unknown
+    operation/analysis/variable.  Deterministic: retrying the identical
+    request cannot help, so clients must not."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue shed this request (bounded-queue overflow, a
+    tenant over its queued quota, or a draining server).
+
+    ``retry_after_s`` is the backoff hint encoded in the response; the
+    queue stays bounded so an overloaded daemon degrades by shedding,
+    never by growing without limit.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.5,
+                 draining: bool = False):
+        self.retry_after_s = retry_after_s
+        self.draining = draining
+        super().__init__(message)
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline expired — in the queue or mid-execution.
+
+    The solve itself is interrupted cooperatively (the deadline becomes
+    the wall-clock :class:`~repro.runtime.budget.Budget` of the run), so
+    a late request costs bounded work, and the typed response tells the
+    client exactly which phase timed out.
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0,
+                 phase: str = "queue"):
+        self.deadline_s = deadline_s
+        self.phase = phase  # "queue" | "execute"
+        super().__init__(message)
+
+
 class WorkerCrash(SolverError):
     """A parallel worker slot spent its failure budget.
 

@@ -143,6 +143,20 @@ class RunReport:
         return list(heals) if heals else []
 
     @property
+    def retry_attempts(self) -> int:
+        """Transient-I/O :class:`~repro.runtime.resilience.RetryPolicy`
+        re-runs recorded on the heal trail (0 = no retries needed)."""
+        return sum(1 for heal in self.self_heal
+                   if heal.get("action") == "retry")
+
+    @property
+    def retry_give_ups(self) -> int:
+        """Operations abandoned after the retry budget was spent (the
+        ``skip-*`` heal actions); the run continued without them."""
+        return sum(1 for heal in self.self_heal
+                   if str(heal.get("action", "")).startswith("skip"))
+
+    @property
     def stage_reached(self) -> str:
         """The last stage attempted (= the one that produced the answer,
         when the run succeeded)."""
@@ -189,6 +203,8 @@ class RunReport:
             "checkpoint_path": self.checkpoint_path,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
             "self_heal": self.self_heal,
+            "retry_attempts": self.retry_attempts,
+            "retry_give_ups": self.retry_give_ups,
             "stages": (self.stage_trace.to_dict()
                        if self.stage_trace is not None else None),
         }
@@ -214,7 +230,9 @@ class RunReport:
             lines.append(checkpoints)
         heals = self.self_heal
         if heals:
-            lines.append(f"self-heal: {len(heals)} absorbed fault(s)")
+            lines.append(f"self-heal: {len(heals)} absorbed fault(s), "
+                         f"{self.retry_attempts} retry attempt(s), "
+                         f"{self.retry_give_ups} give-up(s)")
             for heal in heals:
                 stage = heal.get("stage", "?")
                 detail = ", ".join(f"{k}={v}" for k, v in heal.items()

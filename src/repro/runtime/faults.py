@@ -11,7 +11,9 @@ into **fault domains**:
 - ``io`` — the on-disk substrate: stage-cache read/write, checkpoint
   write, result-store put, arena append/attach;
 - ``parallel`` — the sharded driver's transport: frontier send/recv,
-  worker spawn, worker heartbeat.
+  worker spawn, worker heartbeat;
+- ``service`` — the always-on daemon's request path (:mod:`repro.service`):
+  request decode, queue admission, worker execution, warm-cache attach.
 
 A :class:`FaultPlan` decides, deterministically, whether a reached point
 fires.  Two trigger modes: *step-indexed* (fire on the N-th hit of a
@@ -23,8 +25,11 @@ solver faults surface to the degradation ladder exactly like a real
 internal failure; ``io`` faults are absorbed by the self-healing wrappers
 (recompute, retry, or skip — the run completes); ``parallel`` faults are
 absorbed by the driver's watchdog (kill-and-revive, then collapse onto
-the serial rung once the failure budget is spent).  The chaos harness
-(``repro-wpa chaos``) soaks the whole table under seeded schedules.
+the serial rung once the failure budget is spent); ``service`` faults
+are absorbed by the daemon's admission control (typed shed/error
+responses, worker revival, cache-less sessions — the daemon stays up).
+The chaos harness (``repro-wpa chaos``) soaks the batch table under
+seeded schedules; ``repro-wpa chaos --daemon`` soaks the service domain.
 """
 
 from __future__ import annotations
@@ -41,6 +46,8 @@ FAULT_DOMAINS: Dict[str, Tuple[str, ...]] = {
            "result_store_put", "arena_attach", "arena_append"),
     "parallel": ("worker_spawn", "worker_heartbeat",
                  "frontier_send", "frontier_recv"),
+    "service": ("request_decode", "queue_admit", "worker_exec",
+                "cache_attach"),
 }
 
 #: Every instrumented trigger point, in (domain, pipeline) order.
@@ -77,6 +84,16 @@ FAULT_DESCRIPTIONS: Dict[str, str] = {
                      "(fires = the worker is lost: kill-and-revive)",
     "frontier_recv": "a worker's round reply is being collected "
                      "(fires = the reply is lost: kill-and-revive)",
+    "request_decode": "a daemon request line/body is about to be decoded "
+                      "(fires = typed error response, never a traceback "
+                      "on the wire)",
+    "queue_admit": "a decoded request is about to enter the admission "
+                   "queue (fires = typed ServiceOverloaded shed)",
+    "worker_exec": "a service worker is about to execute an admitted "
+                   "request (fires = retry on a revived worker, charged "
+                   "against its failure budget)",
+    "cache_attach": "a program session is about to attach the warm "
+                    "store/stage-cache/arena (heals: serve cache-less)",
 }
 
 

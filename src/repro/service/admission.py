@@ -1,0 +1,194 @@
+"""Bounded admission: the daemon sheds load instead of buffering it.
+
+The queue is the service's only elastic state, and it is *bounded*: a
+request either gets a slot or a typed :class:`ServiceOverloaded`
+response with a retry-after hint — under any burst the daemon's memory
+stays O(queue depth), never O(backlog).  Three admission gates, checked
+in order:
+
+1. **Draining** — a server that received SIGTERM (or an admin ``drain``)
+   rejects everything with ``draining: true`` and a retry-after of the
+   drain grace period, so clients fail over instead of waiting on a
+   dying process.
+2. **Queue depth** — the global bound; the retry-after hint scales with
+   how full the queue is beyond the bound (a deeper backlog advertises a
+   longer backoff, spreading the retry storm).
+3. **Tenant quota** — a per-tenant cap on *queued* requests
+   (:class:`TenantPolicy.max_queued`), so one chatty tenant cannot
+   starve the rest of the bounded queue.
+
+The ``queue_admit`` fault point fires inside :meth:`AdmissionQueue.admit`
+and classifies as shed: an injected admission failure is exactly a
+load-shed, and the chaos soak verifies the response is typed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import InjectedFault, ServiceOverloaded
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission and resource quotas.
+
+    ``max_queued`` bounds the tenant's share of the admission queue.
+    ``max_wall_s`` / ``max_steps`` cap any single request's solve budget
+    (reusing :class:`repro.runtime.budget.Budget` semantics): a request
+    deadline longer than ``max_wall_s`` is clamped, so no tenant can buy
+    unbounded solver time with a generous client-side deadline.
+    """
+
+    max_queued: int = 8
+    max_wall_s: Optional[float] = None
+    max_steps: Optional[int] = None
+
+    def clamp_deadline(self, deadline_s: Optional[float]) -> Optional[float]:
+        if self.max_wall_s is None:
+            return deadline_s
+        if deadline_s is None:
+            return self.max_wall_s
+        return min(deadline_s, self.max_wall_s)
+
+
+class AdmissionQueue:
+    """Bounded FIFO of admitted work items with load shedding.
+
+    Items are opaque to the queue except for ``item.request.tenant``
+    (quota accounting).  ``admit`` never blocks — it either enqueues or
+    raises :class:`ServiceOverloaded`.  ``get`` blocks workers until an
+    item, drain, or timeout.
+    """
+
+    def __init__(self, depth: int = 64,
+                 tenants: Optional[Dict[str, TenantPolicy]] = None,
+                 default_policy: Optional[TenantPolicy] = None,
+                 retry_after_s: float = 0.25, faults: Any = None):
+        self.depth = max(1, depth)
+        self.tenants = dict(tenants or {})
+        self.default_policy = default_policy or TenantPolicy()
+        self.retry_after_s = retry_after_s
+        self.faults = faults
+        self._items: deque = deque()
+        self._queued_per_tenant: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._draining = False
+        # ---- counters (service stats) ----
+        self.admitted = 0
+        self.shed_overload = 0
+        self.shed_tenant = 0
+        self.shed_draining = 0
+        self.shed_injected = 0
+
+    # ------------------------------------------------------------------ gates
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenants.get(tenant, self.default_policy)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    # -------------------------------------------------------------- admission
+
+    def admit(self, item: Any) -> None:
+        """Enqueue *item* or raise a typed :class:`ServiceOverloaded`."""
+        tenant = item.request.tenant
+        with self._lock:
+            if self.faults is not None:
+                try:
+                    self.faults.fire("queue_admit", stage="service")
+                except InjectedFault as err:
+                    self.shed_injected += 1
+                    raise ServiceOverloaded(
+                        f"admission rejected by injected fault: {err}",
+                        retry_after_s=self.retry_after_s) from err
+            if self._draining:
+                self.shed_draining += 1
+                raise ServiceOverloaded(
+                    "service is draining; retry against a fresh instance",
+                    retry_after_s=max(self.retry_after_s, 1.0), draining=True)
+            if len(self._items) >= self.depth:
+                self.shed_overload += 1
+                # Advertise a longer backoff the further past the bound
+                # the offered load is — spreads the retry storm.
+                pressure = 1.0 + len(self._items) / self.depth
+                raise ServiceOverloaded(
+                    f"admission queue full ({len(self._items)}/{self.depth})",
+                    retry_after_s=self.retry_after_s * pressure)
+            queued = self._queued_per_tenant.get(tenant, 0)
+            if queued >= self.policy_for(tenant).max_queued:
+                self.shed_tenant += 1
+                raise ServiceOverloaded(
+                    f"tenant {tenant!r} already has {queued} queued requests "
+                    f"(quota {self.policy_for(tenant).max_queued})",
+                    retry_after_s=self.retry_after_s)
+            item.request.admitted_at = time.monotonic()
+            self._items.append(item)
+            self._queued_per_tenant[tenant] = queued + 1
+            self.admitted += 1
+            self._ready.notify()
+
+    # -------------------------------------------------------------- consumers
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the next item, blocking up to *timeout*; None on timeout
+        or when the queue is draining and empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not self._items:
+                if self._draining:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._ready.wait(remaining)
+            item = self._items.popleft()
+            tenant = item.request.tenant
+            count = self._queued_per_tenant.get(tenant, 1) - 1
+            if count <= 0:
+                self._queued_per_tenant.pop(tenant, None)
+            else:
+                self._queued_per_tenant[tenant] = count
+            return item
+
+    # ------------------------------------------------------------------ drain
+
+    def drain(self) -> List[Any]:
+        """Close admission and evict everything still queued.
+
+        Returns the evicted items so the server can answer each with a
+        typed draining response (in-flight requests are unaffected —
+        drain is graceful for work already started).
+        """
+        with self._lock:
+            self._draining = True
+            evicted = list(self._items)
+            self._items.clear()
+            self._queued_per_tenant.clear()
+            self._ready.notify_all()
+            return evicted
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "depth": self.depth,
+                "queued": len(self._items),
+                "admitted": self.admitted,
+                "shed_overload": self.shed_overload,
+                "shed_tenant": self.shed_tenant,
+                "shed_draining": self.shed_draining,
+                "shed_injected": self.shed_injected,
+            }

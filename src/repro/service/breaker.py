@@ -1,0 +1,143 @@
+"""Per-(tenant, program) circuit breakers: repeat offenders lose rungs.
+
+A program that keeps blowing its deadline (or failing outright) under
+full precision should not get to burn a worker's whole budget on every
+retry.  The breaker watches each (tenant, program-fingerprint) pair:
+
+- **closed** — requests run at their requested analysis; each failure
+  (deadline exhaustion, typed solver error, precision-losing
+  degradation) increments a consecutive-failure count, each success
+  resets it.
+- **open** — after ``threshold`` consecutive failures the breaker trips:
+  requests are *pinned* to the next rung down the degradation ladder
+  (``vsfs → sfs → ander``) instead of being rejected — the daemon keeps
+  answering, just cheaper, which is the service twin of the batch
+  ladder's degraded-not-dead contract.  Responses still record the
+  requested analysis as ``degraded_from``, so clients can see the pin.
+- **half-open** — after ``cooldown_s`` the next request is a *probe* at
+  full precision: success closes the breaker (full precision restored
+  for everyone), failure re-opens it and restarts the cooldown.
+
+The pin never goes below the Andersen floor, which cannot fail (it is
+the ladder's unconditional floor), so an open breaker converges to a
+state that always answers within budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+#: Pinned rung per requested analysis when a breaker is open.
+PIN_LADDER = {"vsfs": "sfs", "sfs": "ander", "ander": "ander"}
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """One (tenant, program) breaker; see module docstring."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0):
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.state = CLOSED
+        self.failures = 0  # consecutive, while closed/half-open
+        self.trips = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    # ------------------------------------------------------------ decisions
+
+    def plan(self, analysis: str, now: Optional[float] = None) -> Tuple[str, bool]:
+        """What to actually run: ``(effective_analysis, is_probe)``.
+
+        Open breakers pin to the next rung down; once the cooldown has
+        passed, exactly one caller gets a full-precision probe (the
+        half-open state) while concurrent requests stay pinned.
+        """
+        now = time.monotonic() if now is None else now
+        if self.state == CLOSED:
+            return analysis, False
+        if (self.state == OPEN and self.opened_at is not None
+                and now - self.opened_at >= self.cooldown_s):
+            self.state = HALF_OPEN
+        if self.state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return analysis, True
+        return PIN_LADDER.get(analysis, analysis), False
+
+    def record(self, success: bool, probe: bool = False,
+               now: Optional[float] = None) -> None:
+        """Record an attempt's outcome (success = answered at requested
+        precision without losing it)."""
+        now = time.monotonic() if now is None else now
+        if probe:
+            self._probing = False
+            if success:
+                self.state = CLOSED
+                self.failures = 0
+                self.opened_at = None
+            else:
+                self.state = OPEN
+                self.opened_at = now  # restart the cooldown
+            return
+        if self.state != CLOSED:
+            # Pinned executions don't move the state machine: only the
+            # half-open probe may close an open breaker.
+            return
+        if success:
+            self.failures = 0
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = now
+            self.trips += 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+        }
+
+
+class BreakerBoard:
+    """Thread-safe registry of breakers keyed by (tenant, program)."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def breaker(self, tenant: str, program_key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get((tenant, program_key))
+            if breaker is None:
+                breaker = CircuitBreaker(self.threshold, self.cooldown_s)
+                self._breakers[(tenant, program_key)] = breaker
+            return breaker
+
+    def plan(self, tenant: str, program_key: str,
+             analysis: str) -> Tuple[str, bool, CircuitBreaker]:
+        breaker = self.breaker(tenant, program_key)
+        with self._lock:
+            effective, probe = breaker.plan(analysis)
+        return effective, probe, breaker
+
+    def record(self, breaker: CircuitBreaker, success: bool,
+               probe: bool = False) -> None:
+        with self._lock:
+            breaker.record(success, probe=probe)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            open_count = sum(1 for b in self._breakers.values()
+                             if b.state != CLOSED)
+            return {
+                "breakers": len(self._breakers),
+                "open": open_count,
+                "trips": sum(b.trips for b in self._breakers.values()),
+            }

@@ -1,0 +1,215 @@
+"""The daemon's wire protocol: typed JSONL requests and responses.
+
+One JSON object per line (stdio transport) or per HTTP body.  A request
+names an operation over a program; a response is either ``ok`` with the
+operation's result payload and precision metadata, or a typed error
+envelope — the error's class name, message, and (for shed load) a
+``retry_after_s`` hint.  Decoding is total: any malformed input becomes
+a typed :class:`~repro.errors.InvalidRequest`, which the server encodes
+as an error response — a hostile byte stream can never crash the daemon
+or produce an untyped traceback on the wire.
+
+Operations:
+
+- ``analyze`` — run the requested analysis; returns points-to sets of
+  all top-level variables (hex masks, bit-identical across cold/warm
+  runs) plus solver stats;
+- ``alias`` — may-alias verdict for two variables (``params.a`` /
+  ``params.b``);
+- ``nullderef`` — flow-sensitive possibly-null dereference warnings;
+- ``slice`` — forward/backward value-flow slice from a variable's
+  defining SVFG node (``params.var``, ``params.direction``);
+- ``ping`` / ``stats`` — liveness and service counters;
+- ``drain`` — begin graceful drain (admin; same as SIGTERM).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import InvalidRequest, ReproError, ServiceOverloaded
+
+#: Wire protocol version, embedded in every response.
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name, in documentation order.
+OPS = ("analyze", "alias", "nullderef", "slice", "ping", "stats", "drain")
+
+#: Operations that need a program and a solve.
+QUERY_OPS = ("analyze", "alias", "nullderef", "slice")
+
+#: Analyses a request may ask for (daemon surface: the staged solvers
+#: plus the Andersen floor; the dense ICFG baseline is batch-only).
+ANALYSES = ("ander", "sfs", "vsfs")
+
+
+@dataclass
+class Request:
+    """One decoded, validated request."""
+
+    op: str
+    id: str = ""
+    tenant: str = "default"
+    program: Optional[str] = None
+    language: str = "c"
+    analysis: str = "vsfs"
+    deadline_s: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Stamped by the server at admission (monotonic clock) so workers
+    #: can tell how much of the deadline the queue already spent.
+    admitted_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "id": self.id,
+            "tenant": self.tenant,
+            "program": self.program,
+            "language": self.language,
+            "analysis": self.analysis,
+            "deadline_s": self.deadline_s,
+            "params": self.params,
+        }
+
+
+@dataclass
+class Response:
+    """One response, ok or typed-error, ready for the wire."""
+
+    id: str = ""
+    ok: bool = True
+    op: str = ""
+    result: Optional[Dict[str, Any]] = None
+    #: Precision metadata of the solve that answered a query op.
+    precision_level: Optional[str] = None
+    degraded_from: Optional[str] = None
+    precision_lost: bool = False
+    #: Robustness audit: absorbed faults and worker-revival retries the
+    #: request survived (0 = clean path).
+    heals: int = 0
+    retries: int = 0
+    cached: bool = False
+    elapsed_s: float = 0.0
+    error: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "id": self.id,
+            "ok": self.ok,
+            "op": self.op,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+        if self.ok:
+            payload["result"] = self.result
+            if self.precision_level is not None:
+                payload["precision_level"] = self.precision_level
+                payload["degraded_from"] = self.degraded_from
+                payload["precision_lost"] = self.precision_lost
+            payload["heals"] = self.heals
+            payload["retries"] = self.retries
+            payload["cached"] = self.cached
+        else:
+            payload["error"] = self.error
+        return payload
+
+    def encode(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def error_response(request_id: str, op: str, exc: BaseException,
+                   elapsed_s: float = 0.0) -> Response:
+    """Encode *exc* as a typed error response.
+
+    Typed :class:`ReproError`\\ s carry their class name and message;
+    anything else is reported as ``InternalError`` with the exception
+    type attached — the caller is expected to have already charged the
+    incident against a worker's failure budget (an untyped exception is
+    a bug, but the daemon answers it in-protocol and stays up).
+    """
+    error: Dict[str, Any] = {
+        "type": type(exc).__name__ if isinstance(exc, ReproError)
+        else "InternalError",
+        "message": str(exc) or type(exc).__name__,
+    }
+    if not isinstance(exc, ReproError):
+        error["exception"] = type(exc).__name__
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        error["retry_after_s"] = retry_after
+    if isinstance(exc, ServiceOverloaded):
+        error["draining"] = exc.draining
+    phase = getattr(exc, "phase", None)
+    if phase is not None:
+        error["phase"] = phase
+    return Response(id=request_id, ok=False, op=op, error=error,
+                    elapsed_s=elapsed_s)
+
+
+def decode_request(raw: Any, faults: Any = None) -> Request:
+    """Decode one request (a JSON line or an already-parsed dict).
+
+    Total: every malformed input raises :class:`InvalidRequest` (and
+    nothing else).  The ``request_decode`` fault point fires here, so
+    the chaos daemon soak can prove a poisoned decoder still yields a
+    typed response.
+    """
+    if faults is not None:
+        faults.fire("request_decode", stage="service")
+    if isinstance(raw, (str, bytes)):
+        try:
+            raw = json.loads(raw)
+        except ValueError as err:
+            raise InvalidRequest(f"request is not valid JSON: {err}") from err
+    if not isinstance(raw, dict):
+        raise InvalidRequest(
+            f"request must be a JSON object, got {type(raw).__name__}")
+    op = raw.get("op")
+    if op not in OPS:
+        raise InvalidRequest(f"unknown op {op!r}; choose from {OPS}")
+    request = Request(
+        op=op,
+        id=str(raw.get("id", "")),
+        tenant=str(raw.get("tenant", "default") or "default"),
+        program=raw.get("program"),
+        language=str(raw.get("language", "c") or "c"),
+        analysis=str(raw.get("analysis", "vsfs") or "vsfs"),
+        params=raw.get("params") or {},
+    )
+    if not isinstance(request.params, dict):
+        raise InvalidRequest("params must be a JSON object")
+    deadline = raw.get("deadline_s")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise InvalidRequest(
+                f"deadline_s must be a number, got {deadline!r}") from None
+        if deadline <= 0:
+            raise InvalidRequest(f"deadline_s must be positive, got {deadline}")
+        request.deadline_s = deadline
+    if request.language not in ("c", "ir"):
+        raise InvalidRequest(
+            f"unknown language {request.language!r} (want 'c' or 'ir')")
+    if request.analysis not in ANALYSES:
+        raise InvalidRequest(
+            f"unknown analysis {request.analysis!r}; the daemon serves "
+            f"{ANALYSES}")
+    if op in QUERY_OPS and not isinstance(request.program, str):
+        raise InvalidRequest(f"op {op!r} needs a 'program' source string")
+    if op == "alias":
+        for key in ("a", "b"):
+            if not isinstance(request.params.get(key), str):
+                raise InvalidRequest(
+                    "alias needs params.a and params.b variable names")
+    if op == "slice":
+        if not isinstance(request.params.get("var"), str):
+            raise InvalidRequest("slice needs a params.var variable name")
+        direction = request.params.get("direction", "backward")
+        if direction not in ("backward", "forward"):
+            raise InvalidRequest(
+                f"slice direction must be backward/forward, got {direction!r}")
+        request.params["direction"] = direction
+    return request

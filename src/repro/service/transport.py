@@ -1,0 +1,135 @@
+"""Daemon transports: stdio JSONL and localhost HTTP.
+
+Both are thin shells over :meth:`AnalysisService.handle_line` — they own
+no analysis state, so every robustness property (typed errors, bounded
+queue, deadlines, drain) lives in the service core and is shared by both.
+
+- **stdio** (default): one JSON request per stdin line, one JSON
+  response per stdout line, in request order per connection.  EOF or
+  SIGTERM starts a graceful drain.
+- **http**: ``POST /query`` with a JSON request body; ``GET /health``
+  returns liveness + stats (a load balancer's readiness probe: a
+  draining daemon reports 503 so traffic fails over before the process
+  exits).  Binds localhost only — the daemon speaks plaintext JSON and
+  trusts its peer; remote exposure is a deployment's job (and choice).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.service.server import AnalysisService
+
+
+def install_sigterm_drain(service: AnalysisService) -> None:
+    """SIGTERM/SIGINT → graceful drain (in-flight finish, queue shed)."""
+
+    def _handler(signum, frame):  # noqa: ARG001 — signal API
+        threading.Thread(target=service.drain, daemon=True,
+                         name="repro-svc-sigterm").start()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _handler)
+        except ValueError:
+            # Not the main thread (tests, embedded use): the caller
+            # drains explicitly instead.
+            return
+
+
+def serve_stdio(service: AnalysisService, stdin=None, stdout=None) -> int:
+    """Blocking JSONL loop; returns when stdin closes or drain completes."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        response = service.handle_line(line)
+        stdout.write(response.encode() + "\n")
+        stdout.flush()
+        if service.draining and service.queue.draining:
+            break
+    service.drain()
+    return 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request; the service lives on the server object."""
+
+    server_version = "repro-wpa-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # the service keeps its own counters; stay quiet on stderr
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 — stdlib naming
+        if self.path not in ("/health", "/stats"):
+            self._reply(404, {"error": "unknown path; GET /health"})
+            return
+        stats = self.service.stats()
+        status = 503 if self.service.draining else 200
+        self._reply(status, stats)
+
+    def do_POST(self):  # noqa: N802 — stdlib naming
+        if self.path != "/query":
+            self._reply(404, {"error": "unknown path; POST /query"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length).decode("utf-8", errors="replace")
+        response = self.service.handle_line(raw)
+        # Typed errors are still HTTP 200: the protocol envelope carries
+        # the verdict, and a shed/deadline response is a *successful*
+        # admission-control outcome, not a transport failure.
+        self._reply(200, response.to_dict())
+
+
+def serve_http(service: AnalysisService, host: str = "127.0.0.1",
+               port: int = 0,
+               ready: Optional[threading.Event] = None) -> int:
+    """Blocking HTTP loop; drain stops it.  ``port=0`` picks a free port
+    (printed, and exposed as ``server.server_address`` for tests)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    service.http_server = server  # back-reference for tests/drain
+    print(f"repro-wpa serve: listening on "
+          f"http://{server.server_address[0]}:{server.server_address[1]}",
+          file=sys.stderr, flush=True)
+    if ready is not None:
+        ready.set()
+
+    stopper = threading.Thread(target=_stop_on_drain,
+                               args=(service, server), daemon=True,
+                               name="repro-svc-http-stop")
+    stopper.start()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _stop_on_drain(service: AnalysisService, server) -> None:
+    service._drained.wait()
+    server.shutdown()

@@ -217,12 +217,17 @@ class TestChaosHarness:
         assert "chaos schedule" in out and "pre_meld" in out
 
     def test_schedule_is_deterministic_and_covering(self):
-        from repro.chaos import build_schedule
-        from repro.runtime.faults import FAULT_POINTS
+        from repro.chaos import build_daemon_schedule, build_schedule
+        from repro.runtime.faults import FAULT_DOMAINS, FAULT_POINTS
 
         runs = build_schedule(["sfs", "vsfs"], [1, 2], 8, 0)
         again = build_schedule(["sfs", "vsfs"], [1, 2], 8, 0)
         assert [(r.point, r.trigger, r.seed) for r in runs] == \
             [(r.point, r.trigger, r.seed) for r in again]
+        # The batch soak owns every non-service point; the daemon soak
+        # (--daemon) owns the service domain — together, the whole table.
         targeted = {r.point for r in runs}
-        assert targeted == set(FAULT_POINTS)  # whole table, every soak
+        service = set(FAULT_DOMAINS["service"])
+        assert targeted == set(FAULT_POINTS) - service
+        daemon_runs = build_daemon_schedule(["sfs", "vsfs"], 8, 0)
+        assert {r.point for r in daemon_runs} == service

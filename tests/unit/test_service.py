@@ -1,0 +1,353 @@
+"""Unit tests for the daemon's building blocks: protocol, admission,
+circuit breakers, and the supervised worker pool."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    InvalidRequest,
+    ServiceOverloaded,
+)
+from repro.runtime.faults import FaultPlan
+from repro.service.admission import AdmissionQueue, TenantPolicy
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.protocol import (
+    OPS,
+    Request,
+    decode_request,
+    error_response,
+)
+from repro.service.workers import Ticket, WorkerPool
+
+
+class TestProtocol:
+    def test_decode_minimal_analyze(self):
+        request = decode_request('{"op": "analyze", "program": "int x;"}')
+        assert request.op == "analyze"
+        assert request.analysis == "vsfs"
+        assert request.tenant == "default"
+        assert request.deadline_s is None
+
+    def test_decode_dict_input(self):
+        request = decode_request({"op": "ping"})
+        assert request.op == "ping"
+
+    @pytest.mark.parametrize("raw", [
+        "not json at all",
+        "[1, 2, 3]",
+        '{"op": "frobnicate"}',
+        '{"op": "analyze"}',  # query op without a program
+        '{"op": "analyze", "program": "int x;", "deadline_s": -1}',
+        '{"op": "analyze", "program": "int x;", "deadline_s": "soon"}',
+        '{"op": "analyze", "program": "int x;", "language": "cobol"}',
+        '{"op": "analyze", "program": "int x;", "analysis": "magic"}',
+        '{"op": "alias", "program": "int x;"}',  # missing params.a/b
+        '{"op": "slice", "program": "int x;"}',  # missing params.var
+        '{"op": "slice", "program": "int x;", '
+        '"params": {"var": "v", "direction": "sideways"}}',
+        '{"op": "analyze", "program": "int x;", "params": [1, 2]}',
+    ])
+    def test_decode_is_total(self, raw):
+        """Every malformed input is a typed InvalidRequest, never a
+        KeyError/TypeError/json traceback."""
+        with pytest.raises(InvalidRequest):
+            decode_request(raw)
+
+    def test_decode_fault_point_fires(self):
+        plan = FaultPlan(point="request_decode")
+        with pytest.raises(InjectedFault):
+            decode_request('{"op": "ping"}', faults=plan)
+        assert plan.fired
+        # Disarmed (once=True): the retry decodes clean.
+        assert decode_request('{"op": "ping"}', faults=plan).op == "ping"
+
+    def test_error_response_typed(self):
+        response = error_response("r1", "analyze",
+                                  ServiceOverloaded("full",
+                                                    retry_after_s=0.75))
+        payload = response.to_dict()
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "ServiceOverloaded"
+        assert payload["error"]["retry_after_s"] == 0.75
+        assert payload["error"]["draining"] is False
+
+    def test_error_response_untyped_is_internal(self):
+        response = error_response("r2", "alias", ValueError("boom"))
+        payload = response.to_dict()
+        assert payload["error"]["type"] == "InternalError"
+        assert payload["error"]["exception"] == "ValueError"
+
+    def test_error_response_deadline_phase(self):
+        response = error_response("r3", "slice",
+                                  DeadlineExceeded("late", deadline_s=2.0,
+                                                   phase="queue"))
+        assert response.to_dict()["error"]["phase"] == "queue"
+
+    def test_response_encode_is_json_line(self):
+        request = decode_request('{"op": "ping", "id": "a"}')
+        line = error_response(request.id, request.op,
+                              InvalidRequest("nope")).encode()
+        assert "\n" not in line
+        assert json.loads(line)["id"] == "a"
+
+    def test_ops_table(self):
+        assert "analyze" in OPS and "drain" in OPS
+
+
+class TestTenantPolicy:
+    def test_clamp_deadline(self):
+        policy = TenantPolicy(max_wall_s=5.0)
+        assert policy.clamp_deadline(None) == 5.0
+        assert policy.clamp_deadline(60.0) == 5.0
+        assert policy.clamp_deadline(2.0) == 2.0
+        assert TenantPolicy().clamp_deadline(None) is None
+
+
+class TestAdmissionQueue:
+    def _ticket(self, tenant="default"):
+        return Ticket(Request(op="analyze", tenant=tenant, program="int x;"))
+
+    def test_admit_and_get(self):
+        queue = AdmissionQueue(depth=4)
+        ticket = self._ticket()
+        queue.admit(ticket)
+        assert ticket.request.admitted_at is not None
+        assert queue.get(timeout=0.1) is ticket
+        assert queue.get(timeout=0.01) is None
+
+    def test_depth_bound_sheds_with_pressure_hint(self):
+        queue = AdmissionQueue(depth=2, retry_after_s=0.2)
+        queue.admit(self._ticket())
+        queue.admit(self._ticket())
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            queue.admit(self._ticket())
+        assert excinfo.value.retry_after_s > 0.2  # scaled by pressure
+        assert queue.stats()["shed_overload"] == 1
+
+    def test_tenant_quota(self):
+        queue = AdmissionQueue(depth=16,
+                               tenants={"chatty": TenantPolicy(max_queued=1)})
+        queue.admit(self._ticket("chatty"))
+        with pytest.raises(ServiceOverloaded):
+            queue.admit(self._ticket("chatty"))
+        # Other tenants are unaffected by the chatty one's quota.
+        queue.admit(self._ticket("quiet"))
+        assert queue.stats()["shed_tenant"] == 1
+
+    def test_quota_released_on_get(self):
+        queue = AdmissionQueue(depth=16,
+                               tenants={"t": TenantPolicy(max_queued=1)})
+        queue.admit(self._ticket("t"))
+        queue.get(timeout=0.1)
+        queue.admit(self._ticket("t"))  # slot freed
+
+    def test_drain_evicts_and_closes(self):
+        queue = AdmissionQueue(depth=8)
+        first, second = self._ticket(), self._ticket()
+        queue.admit(first)
+        queue.admit(second)
+        evicted = queue.drain()
+        assert evicted == [first, second]
+        assert len(queue) == 0
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            queue.admit(self._ticket())
+        assert excinfo.value.draining is True
+        assert queue.get(timeout=0.01) is None  # drained + empty
+
+    def test_injected_admission_fault_is_typed_shed(self):
+        plan = FaultPlan(point="queue_admit")
+        queue = AdmissionQueue(depth=8, faults=plan)
+        with pytest.raises(ServiceOverloaded):
+            queue.admit(self._ticket())
+        assert plan.fired
+        assert queue.stats()["shed_injected"] == 1
+        queue.admit(self._ticket())  # disarmed plan admits clean
+
+
+class TestCircuitBreaker:
+    def test_closed_passes_requested_analysis(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert breaker.plan("vsfs", now=0.0) == ("vsfs", False)
+
+    def test_threshold_trips_and_pins_next_rung_down(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0)
+        breaker.record(False, now=0.0)
+        assert breaker.state == "closed"
+        breaker.record(False, now=1.0)
+        assert breaker.state == "open"
+        assert breaker.plan("vsfs", now=2.0) == ("sfs", False)
+        assert breaker.plan("sfs", now=2.0) == ("ander", False)
+        assert breaker.plan("ander", now=2.0) == ("ander", False)  # floor
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record(False, now=0.0)
+        breaker.record(True, now=1.0)
+        breaker.record(False, now=2.0)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_restores_full_precision(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0)
+        breaker.record(False, now=0.0)
+        assert breaker.state == "open"
+        # Inside the cooldown: still pinned.
+        assert breaker.plan("vsfs", now=2.0) == ("sfs", False)
+        # Cooldown passed: exactly one probe at full precision...
+        assert breaker.plan("vsfs", now=6.0) == ("vsfs", True)
+        # ...while a concurrent request stays pinned.
+        assert breaker.plan("vsfs", now=6.0) == ("sfs", False)
+        breaker.record(True, probe=True, now=6.5)
+        assert breaker.state == "closed"
+        assert breaker.plan("vsfs", now=7.0) == ("vsfs", False)
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0)
+        breaker.record(False, now=0.0)
+        assert breaker.plan("vsfs", now=6.0)[1] is True  # the probe
+        breaker.record(False, probe=True, now=6.0)
+        assert breaker.state == "open"
+        assert breaker.plan("vsfs", now=8.0) == ("sfs", False)  # cooling
+        assert breaker.plan("vsfs", now=12.0)[1] is True  # next probe
+
+    def test_pinned_failures_do_not_move_the_state_machine(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=100.0)
+        breaker.record(False, now=0.0)
+        trips = breaker.trips
+        breaker.record(False, now=1.0)  # a pinned execution failing
+        assert breaker.trips == trips
+
+    def test_board_keys_by_tenant_and_program(self):
+        board = BreakerBoard(threshold=1, cooldown_s=100.0)
+        effective, probe, breaker = board.plan("t1", "prog-a", "vsfs")
+        assert (effective, probe) == ("vsfs", False)
+        board.record(breaker, False)
+        assert board.plan("t1", "prog-a", "vsfs")[0] == "sfs"
+        # Same program, different tenant: independent breaker.
+        assert board.plan("t2", "prog-a", "vsfs")[0] == "vsfs"
+        assert board.stats()["open"] == 1
+
+
+class TestWorkerPool:
+    def _pool(self, handler, queue=None, **kwargs):
+        queue = queue or AdmissionQueue(depth=16)
+        pool = WorkerPool(queue, handler, size=2, **kwargs)
+        return queue, pool
+
+    def test_executes_and_resolves(self):
+        from repro.service.protocol import Response
+
+        def handler(ticket):
+            return Response(id=ticket.request.id, op=ticket.request.op,
+                            result={"echo": True})
+
+        queue, pool = self._pool(handler)
+        pool.start()
+        try:
+            ticket = Ticket(Request(op="analyze", id="t1", program="x"))
+            queue.admit(ticket)
+            response = ticket.wait(timeout=5.0)
+            assert response is not None and response.ok
+            assert response.result == {"echo": True}
+        finally:
+            queue.drain()
+            pool.stop(timeout=2.0)
+
+    def test_untyped_crash_becomes_internal_error_and_charges(self):
+        def handler(ticket):
+            raise RuntimeError("handler bug")
+
+        queue, pool = self._pool(handler)
+        pool.start()
+        try:
+            ticket = Ticket(Request(op="analyze", id="t2", program="x"))
+            queue.admit(ticket)
+            response = ticket.wait(timeout=5.0)
+            assert response is not None and not response.ok
+            assert response.error["type"] == "InternalError"
+            assert pool.stats()["crashes"] == 1
+        finally:
+            queue.drain()
+            pool.stop(timeout=2.0)
+
+    def test_injected_exec_fault_retries_and_heals(self):
+        from repro.service.protocol import Response
+
+        def handler(ticket):
+            return Response(id=ticket.request.id, op=ticket.request.op,
+                            result={"ok": 1})
+
+        plan = FaultPlan(point="worker_exec")  # once: retry runs clean
+        queue, pool = self._pool(handler, faults=plan)
+        pool.start()
+        try:
+            ticket = Ticket(Request(op="analyze", id="t3", program="x"))
+            queue.admit(ticket)
+            response = ticket.wait(timeout=5.0)
+            assert response is not None and response.ok
+            assert response.retries == 1  # healed on the revived slot
+            assert plan.fired
+        finally:
+            queue.drain()
+            pool.stop(timeout=2.0)
+
+    def test_repeat_exec_fault_exhausts_into_typed_failure(self):
+        from repro.service.protocol import Response
+
+        def handler(ticket):
+            return Response(id=ticket.request.id, op=ticket.request.op)
+
+        plan = FaultPlan(point="worker_exec", probability=1.0, once=False)
+        queue, pool = self._pool(handler, faults=plan)
+        pool.start()
+        try:
+            ticket = Ticket(Request(op="analyze", id="t4", program="x"))
+            queue.admit(ticket)
+            response = ticket.wait(timeout=5.0)
+            assert response is not None and not response.ok
+            assert response.error["type"] == "InjectedFault"
+        finally:
+            queue.drain()
+            pool.stop(timeout=2.0)
+
+    def test_hung_worker_is_abandoned_and_slot_revived(self):
+        import threading
+
+        from repro.service.protocol import Response
+
+        release = threading.Event()
+
+        def handler(ticket):
+            if ticket.request.id == "slow":
+                release.wait(20.0)  # simulate a stuck solve
+            return Response(id=ticket.request.id, op=ticket.request.op)
+
+        queue, pool = self._pool(handler, hang_grace_s=0.2)
+        pool.start()
+        try:
+            slow = Ticket(Request(op="analyze", id="slow", program="x",
+                                  deadline_s=0.3))
+            queue.admit(slow)
+            response = slow.wait(timeout=10.0)
+            assert response is not None and not response.ok
+            assert response.error["type"] == "DeadlineExceeded"
+            assert response.error["phase"] == "execute"
+            assert pool.stats()["hangs"] == 1
+            # The replacement slot still serves new work.
+            fresh = Ticket(Request(op="analyze", id="fresh", program="x"))
+            queue.admit(fresh)
+            assert fresh.wait(timeout=5.0).ok
+        finally:
+            release.set()
+            queue.drain()
+            pool.stop(timeout=2.0)
+
+    def test_ticket_resolution_is_first_wins(self):
+        from repro.service.protocol import Response
+
+        ticket = Ticket(Request(op="ping"))
+        assert ticket.resolve(Response(id="a")) is True
+        assert ticket.resolve(Response(id="b")) is False
+        assert ticket.wait(timeout=0.1).id == "a"
