@@ -319,6 +319,44 @@ def _run(args: argparse.Namespace, source: str) -> int:
                                    trace=pipeline.trace)
             return _client_flags(args, module, pipeline, cached)
 
+    # Function-granular incrementality: with a store, look for the last
+    # solved solution of this configuration and plan a warm re-solve of
+    # just the edit's dirty closure (DESIGN.md §14).  The freshly solved
+    # program is captured back into the store for the next edit.
+    warm_plan = None
+    incr_store = None
+    if store is not None and args.analysis in ("sfs", "vsfs") \
+            and args.resume is None:
+        import os
+
+        from repro.incremental import IncrementalStore, plan_warm
+
+        incr_store = IncrementalStore(
+            os.path.join(args.store, "incremental"))
+        try:
+            payload = incr_store.load(args.analysis, delta, ptrepo)
+        except CheckpointError as err:
+            if args.strict_io:
+                raise
+            from repro.engine.events import heal_event
+
+            pipeline.engine.ctx.bus.emit(heal_event(
+                f"solve:{args.analysis}", "io", "recompute",
+                point="incremental_load", error=type(err).__name__,
+                reason=err.reason))
+            print(f"repro-wpa: warning: stale incremental solution "
+                  f"quarantined ({err.reason}); solving cold",
+                  file=sys.stderr)
+            payload = None
+        if payload is not None:
+            warm_plan = plan_warm(
+                payload, pipeline.svfg(), pipeline.modref(),
+                args.analysis, delta, ptrepo, pipeline.andersen())
+            if not warm_plan.usable:
+                print(f"repro-wpa: notice: incremental plan fell back "
+                      f"({warm_plan.fallback_reason}); solving cold",
+                      file=sys.stderr)
+
     checkpoint = _checkpoint_config(args)
     resume_meta = resume_state = None
     if args.resume is not None:
@@ -338,6 +376,8 @@ def _run(args: argparse.Namespace, source: str) -> int:
         resume_meta=resume_meta,
         jobs=jobs,
         parallel_mode=args.parallel_mode,
+        warm_plan=warm_plan,
+        capture_regions=incr_store is not None,
     )
     run_report = result.report
     if run_report.precision_lost:
@@ -366,6 +406,27 @@ def _run(args: argparse.Namespace, source: str) -> int:
                   file=sys.stderr)
         else:
             print(f"repro-wpa: result stored at {path}", file=sys.stderr)
+    incr = run_report.incremental
+    if incr and not incr.get("fallback_reason"):
+        print(f"repro-wpa: incremental: {incr['regions_reused']}/"
+              f"{incr['regions_total']} regions reused, "
+              f"{len(incr['dirty_functions'])} dirty function(s), "
+              f"{incr['steps_saved']} solver steps saved", file=sys.stderr)
+    capture = getattr(result, "incremental_capture", None)
+    if incr_store is not None and capture is not None \
+            and getattr(result.stats, "analysis", None) == args.analysis:
+        from repro.incremental import build_payload
+
+        try:
+            payload = build_payload(
+                pipeline.svfg(), pipeline.modref(), result,
+                capture["node_in"], capture["node_out"], capture["flow"],
+                args.analysis, delta, ptrepo, pipeline.andersen())
+            IO_RETRY.run(lambda: incr_store.save(payload))
+        except OSError as err:
+            print(f"repro-wpa: warning: incremental solution not stored "
+                  f"({type(err).__name__}: {err}); continuing",
+                  file=sys.stderr)
     _print_result(args, result, run_report)
     __, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -423,6 +484,9 @@ def _write_report_json(path: str, run_report, store_hit: bool = False,
 
     payload = {"store_hit": store_hit,
                "report": run_report.to_dict() if run_report else None,
+               # Lifted out of the report for one-line CI assertions.
+               "incremental": (run_report.incremental
+                               if run_report is not None else None),
                "stages": trace.to_dict() if trace is not None else None,
                "self_heal": list(getattr(trace, "heals", []) or [])}
     atomic_write_json(path, payload)
@@ -464,6 +528,23 @@ def _client_flags(args: argparse.Namespace, module, pipeline, result) -> int:
                 print(f"arena: {stats.arena_masks} masks, "
                       f"{stats.arena_resident_bytes} resident bytes "
                       f"(memory-mapped, shared across runs/workers)")
+        incr = getattr(result, "incremental", None)
+        if incr is not None:
+            entry = incr.to_dict()
+            if entry.get("fallback_reason"):
+                print(f"incremental: cold solve "
+                      f"(fallback={entry['fallback_reason']})")
+            else:
+                print(f"incremental: {entry['regions_reused']}/"
+                      f"{entry['regions_total']} regions reused, "
+                      f"{entry['regions_recomputed']} recomputed; "
+                      f"{entry['nodes_dirty']}/{entry['nodes_total']} "
+                      f"nodes dirty")
+                print(f"incremental: dirty functions: "
+                      f"{', '.join(entry['dirty_functions']) or '(none)'}")
+                print(f"incremental: warm steps: {entry['warm_steps']} "
+                      f"(cold baseline {entry['cold_steps_baseline']}, "
+                      f"saved {entry['steps_saved']})")
 
     if args.stats:
         svfg_stats = pipeline.svfg().stats()

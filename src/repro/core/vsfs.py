@@ -319,6 +319,110 @@ class VSFSAnalysis(StagedSolverBase):
                 self.stats.propagations += 1
                 self._ptv_join(oid, dst, self.ptv_mask(oid, src))
 
+    # ------------------------------------------------------- warm re-solve
+
+    def _version_of(self, nid: int, oid: int,
+                    want_yield: bool) -> Optional[int]:
+        """The version node *nid* genuinely consumes/yields for *oid*.
+
+        ``None`` when the node carries no version for the object — the
+        warm preloader must not mistake the ε default for a real
+        version, or it would pollute the shared ε slot.
+        """
+        versioning = self.versioning
+        if versioning._single[nid]:
+            node = self.svfg.nodes[nid]
+            obj = getattr(node, "obj", None)
+            if obj is None or obj.id != oid:
+                return None
+            return node.yielded_ver if want_yield else node.consumed_ver
+        if want_yield:
+            if not versioning._is_store[nid]:
+                return None  # yields what it consumes — node_in covers it
+            return versioning.yielded[nid].get(oid)
+        return versioning.consumed[nid].get(oid)
+
+    def _preload_memory(self, plan) -> None:
+        """Write clean-region values straight into the version table.
+
+        Node-centric preload: the plan speaks in ``(node, object)``
+        pairs, and the *new* versioning maps them to version indices —
+        version numbering is global per object, so the numbers may have
+        shifted even for untouched functions.  Direct joins, no
+        propagation: constraints *among* preloaded versions were already
+        satisfied at the captured fixpoint.  Constraints *leaving* the
+        preloaded set carry clean values into dirty regions via
+        :meth:`_ptv_join`, whose reader pushes and transitive walk do
+        the delivery.
+        """
+        repo = self.ptrepo
+        preloaded: "set[Tuple[int, int]]" = set()
+
+        def write(oid: int, ver: int, mask: int) -> None:
+            table = self._table(oid)
+            while ver >= len(table):
+                table.append(0)
+            merged = self._entry_mask(table[ver]) | mask
+            table[ver] = repo.intern(merged) if repo is not None else merged
+            preloaded.add((oid, ver))
+
+        for preload, want_yield in ((plan.node_in, False),
+                                    (plan.node_out, True)):
+            for nid, table in preload.items():
+                for oid, mask in table.items():
+                    if not mask:
+                        continue
+                    ver = self._version_of(nid, oid, want_yield)
+                    if ver is not None:
+                        write(oid, ver, mask)
+        constraints = self.versioning.constraints
+        for oid, ver in sorted(preloaded):
+            for dst in constraints.get((oid, ver), ()):
+                if (oid, dst) not in preloaded:
+                    self._ptv_join(oid, dst, self.ptv_mask(oid, ver))
+
+    def export_node_memory(self):
+        versioning = self.versioning
+        node_in: Dict[int, Dict[int, int]] = {}
+        node_out: Dict[int, Dict[int, int]] = {}
+        if versioning is None:
+            return node_in, node_out
+        for nid in range(len(self.svfg.nodes)):
+            if versioning._single[nid]:
+                node = self.svfg.nodes[nid]
+                obj = getattr(node, "obj", None)
+                if obj is None:
+                    continue
+                mask = self.ptv_mask(obj.id, node.consumed_ver)
+                if mask:
+                    node_in[nid] = {obj.id: mask}
+                if node.yielded_ver != node.consumed_ver:
+                    mask = self.ptv_mask(obj.id, node.yielded_ver)
+                    if mask:
+                        node_out[nid] = {obj.id: mask}
+                continue
+            consumed = versioning.consumed[nid]
+            if consumed:
+                table = {
+                    oid: mask for oid, mask in
+                    ((oid, self.ptv_mask(oid, ver))
+                     for oid, ver in consumed.items())
+                    if mask
+                }
+                if table:
+                    node_in[nid] = table
+            if versioning._is_store[nid]:
+                yielded = versioning.yielded[nid]
+                table = {
+                    oid: mask for oid, mask in
+                    ((oid, self.ptv_mask(oid, ver))
+                     for oid, ver in yielded.items())
+                    if mask
+                }
+                if table:
+                    node_out[nid] = table
+        return node_in, node_out
+
     # ----------------------------------------------------------- persistence
 
     def _snapshot_memory(self) -> Dict[str, object]:

@@ -28,10 +28,15 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.ir.fingerprint import FINGERPRINT_SCHEME
 from repro.store.atomic import quarantine_file, read_sealed_json, write_sealed_json
 
 #: Bumped whenever the stage-entry payload layout changes.
-STAGE_CACHE_SCHEMA = 1
+#: 2: fingerprints derive from the per-function fingerprint scheme
+#: (:data:`repro.ir.fingerprint.FINGERPRINT_SCHEME`); entries carry
+#: ``fp_scheme`` so stale pre-refactor entries quarantine instead of
+#: silently (mis)matching.
+STAGE_CACHE_SCHEMA = 2
 
 
 @dataclass
@@ -78,6 +83,11 @@ class StageCache:
         try:
             meta, payload = read_sealed_json(path, self.KIND,
                                              STAGE_CACHE_SCHEMA)
+            if meta.get("fp_scheme") != FINGERPRINT_SCHEME:
+                raise CheckpointError(
+                    f"entry was recorded under fingerprint scheme "
+                    f"{meta.get('fp_scheme')!r}, not {FINGERPRINT_SCHEME} — "
+                    f"stale pre-refactor entry", reason="schema", path=path)
             if (meta.get("stage") != stage.name
                     or meta.get("fingerprint") != fingerprint):
                 raise CheckpointError(
@@ -145,6 +155,7 @@ class StageCache:
         meta = {
             "stage": stage.name,
             "fingerprint": fingerprint,
+            "fp_scheme": FINGERPRINT_SCHEME,
             "mode": stage.cache_mode,
             "ir_hash": ctx.fingerprints.get("prepare"),
         }

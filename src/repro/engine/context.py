@@ -54,6 +54,14 @@ class StageContext:
     checkpointer: Optional[Any] = None  # Checkpointer
     resume_state: Optional[Any] = None  # checkpoint payload
     resume_step: int = 0
+    # ---- function-granular incrementality (repro.incremental) ----
+    #: A usable WarmPlan makes the solve rung retract/reseed only the
+    #: dirty regions instead of solving cold (DESIGN.md §14).
+    warm_plan: Optional[Any] = None
+    #: Capture per-node memory + the solved flow graph on the result
+    #: (result.incremental_capture) so the run can be stored for the
+    #: next warm re-solve.
+    capture_regions: bool = False
     # ---- persistence + instrumentation ----
     cache: Optional[Any] = None  # StageCache (stage-level artifact cache)
     #: Strict cache mode: a corrupt/mismatched stage-cache entry raises

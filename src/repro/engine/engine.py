@@ -210,7 +210,9 @@ class Engine:
               faults: Any = None, checkpointer: Any = None,
               resume_state: Any = None, resume_step: int = 0,
               jobs: Optional[int] = None,
-              parallel_mode: Optional[str] = None) -> Any:
+              parallel_mode: Optional[str] = None,
+              warm_plan: Any = None,
+              capture_regions: Optional[bool] = None) -> Any:
         """Run one solve rung; substrate is ensured (untimed) first.
 
         The Andersen level keeps the auxiliary result's memo semantics: a
@@ -271,7 +273,10 @@ class Engine:
             parallel_mode=(ctx.parallel_mode if parallel_mode is None
                            else parallel_mode),
             meter=meter, faults=faults, checkpointer=checkpointer,
-            resume_state=resume_state, resume_step=resume_step)
+            resume_state=resume_state, resume_step=resume_step,
+            warm_plan=warm_plan if warm_plan is not None else ctx.warm_plan,
+            capture_regions=(ctx.capture_regions if capture_regions is None
+                             else bool(capture_regions)))
         fp = self._fingerprint_for(stage, rung)
         ctx.bus.emit(StageEvent("stage_start", name, main_phase=True,
                                 fingerprint=fp))
@@ -317,6 +322,10 @@ class Engine:
                     "arena_resident_bytes": getattr(
                         stats, "arena_resident_bytes", 0),
                 }
+        incr = getattr(result, "incremental", None)
+        if incr is not None:
+            detail = dict(detail or {})
+            detail["incremental"] = incr.to_dict()
         ctx.bus.emit(StageEvent(
             "stage_end", name, wall_s=time.perf_counter() - begun,
             steps=stage.steps(result), main_phase=True, fingerprint=fp,

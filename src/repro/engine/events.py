@@ -216,6 +216,19 @@ class StageTrace:
                     f"({rate:.1%}), interner "
                     f"{detail.get('interner_entries', 0)} sets, arena "
                     f"{detail.get('arena_resident_bytes', 0)} B")
+            incr = detail.get("incremental")
+            if isinstance(incr, dict):
+                if incr.get("fallback_reason"):
+                    lines.append(
+                        f"  {'':<14} incremental: cold "
+                        f"(fallback={incr['fallback_reason']})")
+                else:
+                    lines.append(
+                        f"  {'':<14} incremental: "
+                        f"{incr.get('regions_reused', 0)}/"
+                        f"{incr.get('regions_total', 0)} regions reused, "
+                        f"{len(incr.get('dirty_functions', []))} dirty fn(s), "
+                        f"{incr.get('steps_saved', 0)} steps saved")
         lines.append(
             f"substrate: {self.substrate_wall():.4f}s (excluded from main "
             f"phase); main phase: {self.main_phase_wall():.4f}s; "

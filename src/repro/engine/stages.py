@@ -295,9 +295,31 @@ class SolveStage(Stage):
 
     def run(self, ctx: Any) -> Any:
         solver = self.make_solver(ctx)
+        plan = ctx.warm_plan
+        warm = (plan is not None and getattr(plan, "usable", False)
+                and getattr(plan, "analysis", None) == self.level
+                and ctx.resume_state is None)
         if ctx.resume_state is not None:
             solver.restore_state(ctx.resume_state, ctx.resume_step)
-        return solver.run()
+        if warm:
+            solver.warm_start(plan)
+        result = solver.run()
+        if warm:
+            plan.stats.finish(result.stats.nodes_processed)
+            result.incremental = plan.stats
+        elif plan is not None and self.level in ("sfs", "vsfs"):
+            # A plan that fell back to cold still reports why.
+            result.incremental = plan.stats
+        if ctx.capture_regions and self.level in ("sfs", "vsfs"):
+            from repro.incremental.deps import node_flow_graph
+
+            node_in, node_out = solver.export_node_memory()
+            result.incremental_capture = {
+                "node_in": node_in,
+                "node_out": node_out,
+                "flow": node_flow_graph(solver.svfg),
+            }
+        return result
 
     def make_solver(self, ctx: Any) -> Any:
         module = ctx.artifacts["prepare"]
@@ -356,6 +378,19 @@ class ParallelSolveStage(SolveStage):
     def run(self, ctx: Any) -> Any:
         from repro.parallel.driver import solve_parallel
 
+        plan = ctx.warm_plan
+        if plan is not None and getattr(plan, "usable", False) \
+                and getattr(plan, "analysis", None) == self.base_level:
+            # A warm re-solve retracts/reseeds from a stored solution; a
+            # sharded run would have to split that preload across worker
+            # partitions.  Collapse to the serial kernel — result-
+            # identical by confluence (DESIGN.md §10) — and keep the
+            # warm savings instead of the parallel speedup.
+            from repro.engine.events import heal_event
+
+            ctx.bus.emit(heal_event(self.name, "parallel", "collapse",
+                                    reason="warm-start", jobs=ctx.jobs))
+            return SolveStage(self.base_level).run(ctx)
         if ctx.resume_state is not None:
             raise AnalysisError(
                 "parallel solve stages cannot resume a serial checkpoint; "

@@ -1,0 +1,336 @@
+"""Function-granular content fingerprints and stable entity keys.
+
+The incremental spine (see DESIGN.md §14) needs two things the dense
+integer id spaces cannot give it:
+
+1. **Per-function content hashes** whose value depends only on the
+   function's own content — editing one function never perturbs a
+   sibling's hash.  The printed IR is *not* that normal form: the
+   frontend's SSA rename suffixes (``%w.5``) come from a module-global
+   counter, so an edit upstream shifts every later function's names.
+   :func:`function_fingerprint` therefore serialises structurally,
+   renaming locals to per-function ordinals and blocks to per-function
+   indices, so nothing module-global leaks in.
+   The scheme-2 module fingerprint is the hash of the per-function
+   hashes **in insertion order** — deliberately order-sensitive,
+   because :meth:`Module.renumber` assigns dense ids in insertion
+   order and every id-indexed payload (result store, checkpoints,
+   stage cache) would silently alias if two orderings shared a key.
+   Only the *per-function* hashes are sibling-order independent.
+
+2. **Stable keys** for objects, variables and SVFG nodes: names in a
+   ``(owning function, ordinal within function)`` space that survive a
+   sibling edit, so a stored solution's masks can be re-expressed in a
+   new module's dense ids.  Ordinals follow program order inside the
+   owning function, which is exactly the order :meth:`Module.renumber`
+   and the SVFG builder traverse, so keys are a pure function of the
+   function's own content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AllocInst,
+    BinOpInst,
+    BranchInst,
+    CallInst,
+    CopyInst,
+    FieldInst,
+    FunEntryInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, FunctionObject, MemObject, Variable
+
+__all__ = [
+    "FINGERPRINT_SCHEME",
+    "function_fingerprint",
+    "module_function_fingerprints",
+    "module_fingerprint",
+    "object_keys",
+    "variable_keys",
+    "node_keys",
+    "diff_functions",
+]
+
+#: Bumped whenever the fingerprint normal form or key scheme changes.
+#: Scheme 1 was the whole-module ``print_module`` hash; scheme 2 is the
+#: per-function DAG below.  Store/cache/checkpoint manifests record the
+#: scheme so pre-refactor entries quarantine instead of silently aliasing.
+FINGERPRINT_SCHEME = 2
+
+
+def _serialize_function(function: Function) -> str:
+    """Canonical text of one function with nothing module-global in it.
+
+    Local variables are renamed to ``%<ordinal>`` in order of first
+    appearance, blocks to ``b<index>``; globals, functions and abstract
+    objects appear by source-level name.  Two compiles of the same
+    function body serialise identically no matter what the rest of the
+    module looks like.
+    """
+    rename: Dict[Variable, str] = {}
+
+    def tok(value: object) -> str:
+        if isinstance(value, Variable):
+            if value.is_global:
+                return f"@{value.name}"
+            token = rename.get(value)
+            if token is None:
+                token = rename[value] = f"%{len(rename)}"
+            return token
+        if isinstance(value, Function):
+            return f"fn:{value.name}"
+        if isinstance(value, Constant):
+            return f"c:{value.value}"
+        return f"?:{value!r}"
+
+    def obj_tok(obj: MemObject) -> str:
+        if isinstance(obj, FunctionObject):
+            return f"fun:{obj.function.name}"
+        return (f"obj:{obj.kind.value}:{obj.name}:{obj.num_fields}"
+                f":{int(obj.is_array)}")
+
+    lines = [f"func {function.name}/{len(function.params)}"]
+    if function.is_declaration:
+        lines.append("declare")
+        return "\n".join(lines)
+    for param in function.params:
+        tok(param)  # params take the first ordinals, in signature order
+    block_ix = {block: i for i, block in enumerate(function.blocks)}
+    for block in function.blocks:
+        lines.append(f"b{block_ix[block]}:")
+        for inst in block.instructions:
+            if isinstance(inst, AllocInst):
+                lines.append(f"{tok(inst.dst)} = alloc {obj_tok(inst.obj)}")
+            elif isinstance(inst, CopyInst):
+                lines.append(f"{tok(inst.dst)} = copy {tok(inst.src)}")
+            elif isinstance(inst, PhiInst):
+                incomings = " ".join(
+                    f"[b{block_ix.get(pred, -1)} {tok(value)}]"
+                    for pred, value in inst.incomings)
+                lines.append(f"{tok(inst.dst)} = phi {incomings}")
+            elif isinstance(inst, FieldInst):
+                lines.append(
+                    f"{tok(inst.dst)} = field {tok(inst.base)} {inst.field}")
+            elif isinstance(inst, LoadInst):
+                lines.append(f"{tok(inst.dst)} = load {tok(inst.ptr)}")
+            elif isinstance(inst, StoreInst):
+                lines.append(f"store {tok(inst.ptr)} {tok(inst.value)}")
+            elif isinstance(inst, CallInst):
+                callee = (f"fn:{inst.callee.name}"
+                          if isinstance(inst.callee, Function)
+                          else tok(inst.callee))
+                args = " ".join(tok(arg) for arg in inst.args)
+                dst = tok(inst.dst) if inst.dst is not None else "_"
+                lines.append(f"{dst} = call {callee} {args}")
+            elif isinstance(inst, FunEntryInst):
+                lines.append("funentry")
+            elif isinstance(inst, RetInst):
+                value = tok(inst.value) if inst.value is not None else "_"
+                lines.append(f"ret {value}")
+            elif isinstance(inst, BranchInst):
+                cond = tok(inst.cond) if inst.cond is not None else "_"
+                targets = ",".join(
+                    f"b{block_ix.get(target, -1)}"
+                    for target in inst.targets)
+                lines.append(f"br {cond} {targets}")
+            elif isinstance(inst, BinOpInst):  # covers CmpInst
+                lines.append(
+                    f"{tok(inst.dst)} = {type(inst).__name__}:{inst.op} "
+                    f"{tok(inst.lhs)} {tok(inst.rhs)}")
+            else:  # future instruction kinds: structural fallback
+                result = inst.result()
+                dst = tok(result) if result is not None else "_"
+                ops = " ".join(tok(op) for op in inst.operands())
+                lines.append(f"{dst} = {type(inst).__name__} {ops}")
+    return "\n".join(lines)
+
+
+def function_fingerprint(function: Function) -> str:
+    """SHA-256 of *function*'s canonical serialisation."""
+    return hashlib.sha256(
+        _serialize_function(function).encode("utf-8")).hexdigest()
+
+
+def module_function_fingerprints(module: Module) -> Dict[str, str]:
+    """``{function name: content hash}`` in insertion order."""
+    return {name: function_fingerprint(fn)
+            for name, fn in module.functions.items()}
+
+
+def module_fingerprint(module: Module) -> str:
+    """Scheme-2 module fingerprint: hash of the per-function hash list.
+
+    Insertion order is part of the content on purpose (see module
+    docstring): dense ids are insertion-order dependent, so two modules
+    with reordered siblings must never share a module-level key even
+    though each sibling's own hash is unchanged.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-ir-v{FINGERPRINT_SCHEME}\n".encode("utf-8"))
+    digest.update(f"; module {module.name}\n".encode("utf-8"))
+    for name, fp in module_function_fingerprints(module).items():
+        digest.update(f"{name}={fp}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ------------------------------------------------------------- stable keys
+
+def _alloc_key(fn_name: str, ordinal: int) -> str:
+    return f"alloc:{fn_name}:{ordinal}"
+
+
+def object_keys(module: Module) -> List[str]:
+    """Stable key per object, indexed by dense object id.
+
+    - allocation-site objects: ``alloc:<fn>:<ordinal>`` where the ordinal
+      counts the function's ``AllocInst``\\ s in program order;
+    - function objects: ``fun:<name>``;
+    - field objects: ``field:<base key>:<offset>`` (bases are never
+      fields, so one level suffices);
+    - anything else falls back to ``name:<object name>:<occurrence>``.
+
+    The fallback covers objects no instruction allocates — typically
+    stack slots mem2reg promoted away, which can never appear in a
+    points-to set.  Their keys therefore only need to be *unique* (the
+    occurrence suffix), not stable across edits.
+    """
+    keys: List[Optional[str]] = [None] * len(module.objects)
+
+    def assign(obj: MemObject, key: str) -> None:
+        if 0 <= obj.id < len(keys) and keys[obj.id] is None:
+            keys[obj.id] = key
+
+    for fn in module.functions.values():
+        ordinal = 0
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, AllocInst):
+                    continue
+                obj = inst.obj
+                if isinstance(obj, FunctionObject):
+                    assign(obj, f"fun:{obj.function.name}")
+                else:
+                    assign(obj, _alloc_key(fn.name, ordinal))
+                ordinal += 1
+    for obj in module.objects:
+        if isinstance(obj, FunctionObject):
+            assign(obj, f"fun:{obj.function.name}")
+    # Field objects key off their base; resolve after bases are named.
+    for obj in module.objects:
+        if obj.is_field() and obj.base is not None and keys[obj.id] is None:
+            base_key = keys[obj.base.id]
+            if base_key is not None:
+                keys[obj.id] = f"field:{base_key}:{obj.offset}"
+    seen: Dict[str, int] = {}
+    out: List[str] = []
+    for i, key in enumerate(keys):
+        if key is None:
+            name = module.objects[i].name
+            nth = seen.get(name, 0)
+            seen[name] = nth + 1
+            key = f"name:{name}:{nth}"
+        out.append(key)
+    return out
+
+
+def variable_keys(module: Module) -> List[str]:
+    """Stable key per variable, indexed by dense variable id.
+
+    Globals key by name (``g:<name>``); locals by
+    ``v:<fn>:<ordinal>`` with ordinals following the same
+    params-then-instructions walk :meth:`Module.renumber` uses, so the
+    key of every variable in an unchanged function is unchanged.
+    """
+    keys: List[Optional[str]] = [None] * len(module.variables)
+
+    def assign(var, fn_name: str, ordinal: int) -> bool:
+        if not isinstance(var, Variable):
+            return False
+        if var.is_global:
+            if 0 <= var.id < len(keys) and keys[var.id] is None:
+                keys[var.id] = f"g:{var.name}"
+            return False
+        if 0 <= var.id < len(keys) and keys[var.id] is None:
+            keys[var.id] = f"v:{fn_name}:{ordinal}"
+            return True
+        return False
+
+    for fn in module.functions.values():
+        ordinal = 0
+        for param in fn.params:
+            if assign(param, fn.name, ordinal):
+                ordinal += 1
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if assign(inst.result(), fn.name, ordinal):
+                    ordinal += 1
+                for operand in inst.operands():
+                    if assign(operand, fn.name, ordinal):
+                        ordinal += 1
+    return [key if key is not None else f"g:{module.variables[i].name}"
+            for i, key in enumerate(keys)]
+
+
+def node_keys(svfg) -> List[str]:
+    """Stable key per SVFG node, indexed by node id.
+
+    ``<fn>#<node kind>:<detail>#<ordinal>``, where the detail is the
+    instruction class for instruction nodes and the stable object key
+    for memory nodes, and the ordinal counts nodes of that *same kind
+    and detail* within the function in creation order (the builder
+    creates every function's nodes contiguously in program order).
+
+    Scoping the ordinal this finely makes keys robust against memory-SSA
+    *insertions*: when a sibling edit threads a new object through an
+    untouched caller (one extra actual-in/out pair per call site), the
+    caller's existing nodes keep their keys — only the genuinely new
+    nodes get new keys.  A plain per-function ordinal would shift every
+    key after the insertion point and cascade digest mismatches into
+    regions whose inputs never changed.
+
+    For a function whose own content is unchanged, relative order within
+    each (kind, detail) class is preserved, so the mapping old↔new is
+    exact — which is all the warm planner relies on: it only ever maps
+    values of *clean* functions.
+    """
+    okeys = object_keys(svfg.module)
+    counters: Dict[str, int] = {}
+    keys: List[str] = []
+    for node in svfg.nodes:
+        fn = node.function.name if node.function is not None else ""
+        inst = getattr(node, "inst", None)
+        if inst is not None:
+            detail = type(inst).__name__
+        else:
+            obj = getattr(node, "obj", None)
+            detail = okeys[obj.id] if obj is not None else type(node).__name__
+        stem = f"{fn}#{type(node).__name__}:{detail}"
+        ordinal = counters.get(stem, 0)
+        counters[stem] = ordinal + 1
+        keys.append(f"{stem}#{ordinal}")
+    return keys
+
+
+# ------------------------------------------------------------------ diffing
+
+def diff_functions(old: Dict[str, str], new: Dict[str, str]
+                   ) -> Dict[str, List[str]]:
+    """Classify a per-function fingerprint edit.
+
+    Returns ``{"changed": [...], "added": [...], "deleted": [...]}`` —
+    the seed set the dependency map grows into a dirty closure.
+    """
+    changed = [name for name, fp in new.items()
+               if name in old and old[name] != fp]
+    added = [name for name in new if name not in old]
+    deleted = [name for name in old if name not in new]
+    return {"changed": changed, "added": added, "deleted": deleted}

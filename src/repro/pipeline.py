@@ -101,39 +101,52 @@ class AnalysisPipeline:
 
     def sfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
             faults=None, checkpointer=None, resume_state=None,
-            resume_step: int = 0) -> FlowSensitiveResult:
+            resume_step: int = 0, warm_plan=None,
+            capture_regions: Optional[bool] = None) -> FlowSensitiveResult:
         return self.engine.solve("sfs", delta=delta, ptrepo=ptrepo,
                                  meter=meter, faults=faults,
                                  checkpointer=checkpointer,
                                  resume_state=resume_state,
-                                 resume_step=resume_step)
+                                 resume_step=resume_step,
+                                 warm_plan=warm_plan,
+                                 capture_regions=capture_regions)
 
     def vsfs(self, delta: bool = True, ptrepo: bool = True, meter=None,
              faults=None, checkpointer=None, resume_state=None,
-             resume_step: int = 0) -> FlowSensitiveResult:
+             resume_step: int = 0, warm_plan=None,
+             capture_regions: Optional[bool] = None) -> FlowSensitiveResult:
         return self.engine.solve("vsfs", delta=delta, ptrepo=ptrepo,
                                  meter=meter, faults=faults,
                                  checkpointer=checkpointer,
                                  resume_state=resume_state,
-                                 resume_step=resume_step)
+                                 resume_step=resume_step,
+                                 warm_plan=warm_plan,
+                                 capture_regions=capture_regions)
 
     def sfs_par(self, jobs: int = 2, delta: bool = True, ptrepo: bool = True,
-                meter=None, faults=None,
-                mode: Optional[str] = None) -> FlowSensitiveResult:
+                meter=None, faults=None, mode: Optional[str] = None,
+                warm_plan=None,
+                capture_regions: Optional[bool] = None) -> FlowSensitiveResult:
         """Sharded parallel SFS on *jobs* workers (bit-identical to
-        :meth:`sfs`; see :mod:`repro.parallel`)."""
+        :meth:`sfs`; see :mod:`repro.parallel`).  A usable *warm_plan*
+        collapses the run onto the serial kernel (same result)."""
         return self.engine.solve("sfs-par", delta=delta, ptrepo=ptrepo,
                                  meter=meter, faults=faults, jobs=jobs,
-                                 parallel_mode=mode)
+                                 parallel_mode=mode, warm_plan=warm_plan,
+                                 capture_regions=capture_regions)
 
     def vsfs_par(self, jobs: int = 2, delta: bool = True, ptrepo: bool = True,
-                 meter=None, faults=None,
-                 mode: Optional[str] = None) -> FlowSensitiveResult:
+                 meter=None, faults=None, mode: Optional[str] = None,
+                 warm_plan=None,
+                 capture_regions: Optional[bool] = None
+                 ) -> FlowSensitiveResult:
         """Sharded parallel VSFS on *jobs* workers (bit-identical to
-        :meth:`vsfs`)."""
+        :meth:`vsfs`).  A usable *warm_plan* collapses the run onto the
+        serial kernel (same result)."""
         return self.engine.solve("vsfs-par", delta=delta, ptrepo=ptrepo,
                                  meter=meter, faults=faults, jobs=jobs,
-                                 parallel_mode=mode)
+                                 parallel_mode=mode, warm_plan=warm_plan,
+                                 capture_regions=capture_regions)
 
     def icfg_fs(self, meter=None, checkpointer=None, resume_state=None,
                 resume_step: int = 0) -> FlowSensitiveResult:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.ir.fingerprint import FINGERPRINT_SCHEME
 from repro.store.atomic import quarantine_file, read_sealed_json, write_sealed_json
 from repro.store.codec import result_key
 
@@ -45,7 +46,10 @@ __all__ = [
 ]
 
 #: Bumped whenever any solver's snapshot payload layout changes.
-CHECKPOINT_SCHEMA = 1
+#: 2: keys derive from the per-function fingerprint scheme
+#: (:data:`repro.ir.fingerprint.FINGERPRINT_SCHEME`); manifests carry
+#: ``fp_scheme`` so pre-refactor checkpoints are rejected, not resumed.
+CHECKPOINT_SCHEMA = 2
 
 #: Artifact kind tag inside the sealed envelope.
 CHECKPOINT_KIND = "checkpoint"
@@ -142,6 +146,7 @@ class Checkpointer:
         begun = time.perf_counter()
         meta = {
             "ir_hash": self.ir_hash,
+            "fp_scheme": FINGERPRINT_SCHEME,
             "analysis": self.analysis,
             "delta": self.delta,
             "ptrepo": self.ptrepo,
@@ -221,6 +226,14 @@ def load_checkpoint(path: str, ir_hash: Optional[str] = None,
         if err.reason != "missing" and os.path.exists(path):
             err.path = quarantine_file(path)
         raise
+    if meta.get("fp_scheme") != FINGERPRINT_SCHEME:
+        # Unlike a config mismatch (valid for some other run), a scheme
+        # mismatch can never become loadable again — quarantine it.
+        raise CheckpointError(
+            f"checkpoint was recorded under fingerprint scheme "
+            f"{meta.get('fp_scheme')!r}, not {FINGERPRINT_SCHEME} — stale "
+            f"pre-refactor state cannot be resumed", reason="schema",
+            path=quarantine_file(path))
     if ir_hash is not None and meta.get("ir_hash") != ir_hash:
         raise CheckpointError(
             f"checkpoint was recorded for a different program "

@@ -132,7 +132,8 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
                       faults=None, delta: bool = True, ptrepo: bool = True,
                       checkpoint: Optional[CheckpointConfig] = None,
                       resume_state=None, resume_meta=None,
-                      jobs: int = 1, parallel_mode: Optional[str] = None):
+                      jobs: int = 1, parallel_mode: Optional[str] = None,
+                      warm_plan=None, capture_regions: bool = False):
     """Run *analysis* on *pipeline* under the degradation ladder.
 
     Returns the usual result object, tagged with ``precision_level``,
@@ -183,6 +184,16 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
             f"rung of the {analysis!r} ladder {levels}",
             reason="config-mismatch")
 
+    def plan_for(level: str) -> object:
+        # The warm plan applies only to the rung it was planned for —
+        # a degraded rung solves a *different* analysis, whose stored
+        # solution (if any) lives in its own slot.
+        base = level[: -len("-par")] if level.endswith("-par") else level
+        if warm_plan is not None \
+                and getattr(warm_plan, "analysis", None) == base:
+            return warm_plan
+        return None
+
     def make_rung(level: str) -> Rung:
         if level.endswith("-par"):
             # Parallel rungs do their own sealing/revival in memory;
@@ -191,17 +202,21 @@ def solve_with_ladder(pipeline, analysis: str = "vsfs",
             return level, lambda meter: (
                 pipeline.sfs_par if base == "sfs" else pipeline.vsfs_par)(
                     jobs=jobs, delta=delta, ptrepo=ptrepo, meter=meter,
-                    faults=faults, mode=parallel_mode)
+                    faults=faults, mode=parallel_mode,
+                    warm_plan=plan_for(level),
+                    capture_regions=capture_regions)
         ck = checkpointer_for(level)
         state = resume_state if level == resume_level else None
         if level == "vsfs":
             return level, lambda meter: pipeline.vsfs(
                 delta=delta, ptrepo=ptrepo, meter=meter, faults=faults,
-                checkpointer=ck, resume_state=state, resume_step=resume_step)
+                checkpointer=ck, resume_state=state, resume_step=resume_step,
+                warm_plan=plan_for(level), capture_regions=capture_regions)
         if level == "sfs":
             return level, lambda meter: pipeline.sfs(
                 delta=delta, ptrepo=ptrepo, meter=meter, faults=faults,
-                checkpointer=ck, resume_state=state, resume_step=resume_step)
+                checkpointer=ck, resume_state=state, resume_step=resume_step,
+                warm_plan=plan_for(level), capture_regions=capture_regions)
         if level == "icfg-fs":
             return level, lambda meter: pipeline.icfg_fs(
                 meter=meter, checkpointer=ck, resume_state=state,
@@ -248,5 +263,8 @@ def _tag(result, analysis: str, report: RunReport):
         result = andersen_as_flow_sensitive(result, degraded_from=degraded_from)
     result.precision_level = level
     result.degraded_from = degraded_from
+    incr = getattr(result, "incremental", None)
+    if incr is not None:
+        report.incremental = incr.to_dict()
     result.report = report
     return result

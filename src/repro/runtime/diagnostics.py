@@ -88,6 +88,10 @@ class RunReport:
     #: it as the ``stages`` list — substrate entries carry
     #: ``main_phase: false``, i.e. excluded from the timed main phase.
     stage_trace: Optional[object] = None
+    #: Warm re-solve accounting (an ``IncrStats.to_dict()`` snapshot)
+    #: when the run was planned incrementally — including fallbacks,
+    #: whose ``fallback_reason`` says why the run went cold.
+    incremental: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------- recording
 
@@ -201,6 +205,7 @@ class RunReport:
             "checkpoint_skips": self.checkpoint_skips,
             "checkpoint_time_s": self.checkpoint_time_s,
             "checkpoint_path": self.checkpoint_path,
+            "incremental": self.incremental,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
             "self_heal": self.self_heal,
             "retry_attempts": self.retry_attempts,
@@ -228,6 +233,18 @@ class RunReport:
             if self.resumed:
                 checkpoints += f", resumed from step {self.resumed_from_step}"
             lines.append(checkpoints)
+        incr = self.incremental
+        if incr is not None:
+            if incr.get("fallback_reason"):
+                lines.append("incremental: cold solve "
+                             f"(fallback={incr['fallback_reason']})")
+            else:
+                lines.append(
+                    f"incremental: {incr.get('regions_reused', 0)}/"
+                    f"{incr.get('regions_total', 0)} regions reused, "
+                    f"{len(incr.get('dirty_functions') or [])} dirty "
+                    f"function(s), {incr.get('steps_saved', 0)} solver "
+                    f"steps saved")
         heals = self.self_heal
         if heals:
             lines.append(f"self-heal: {len(heals)} absorbed fault(s), "

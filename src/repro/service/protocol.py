@@ -19,6 +19,11 @@ Operations:
 - ``nullderef`` — flow-sensitive possibly-null dereference warnings;
 - ``slice`` — forward/backward value-flow slice from a variable's
   defining SVFG node (``params.var``, ``params.direction``);
+- ``update_source`` — analyze an *edited* program through the
+  function-granular incremental path (sfs/vsfs only): the daemon plans
+  the dirty closure against its last stored solution, warm-solves just
+  that closure, and answers like ``analyze`` plus an ``incremental``
+  block (regions reused, dirty functions, steps saved);
 - ``ping`` / ``stats`` — liveness and service counters;
 - ``drain`` — begin graceful drain (admin; same as SIGTERM).
 """
@@ -35,10 +40,11 @@ from repro.errors import InvalidRequest, ReproError, ServiceOverloaded
 PROTOCOL_VERSION = 1
 
 #: Operations a request may name, in documentation order.
-OPS = ("analyze", "alias", "nullderef", "slice", "ping", "stats", "drain")
+OPS = ("analyze", "alias", "nullderef", "slice", "update_source", "ping",
+       "stats", "drain")
 
 #: Operations that need a program and a solve.
-QUERY_OPS = ("analyze", "alias", "nullderef", "slice")
+QUERY_OPS = ("analyze", "alias", "nullderef", "slice", "update_source")
 
 #: Analyses a request may ask for (daemon surface: the staged solvers
 #: plus the Andersen floor; the dense ICFG baseline is batch-only).
@@ -204,6 +210,10 @@ def decode_request(raw: Any, faults: Any = None) -> Request:
             if not isinstance(request.params.get(key), str):
                 raise InvalidRequest(
                     "alias needs params.a and params.b variable names")
+    if op == "update_source" and request.analysis not in ("sfs", "vsfs"):
+        raise InvalidRequest(
+            "update_source is incremental and needs a staged analysis "
+            "('sfs' or 'vsfs'); 'ander' has no warm re-solve path")
     if op == "slice":
         if not isinstance(request.params.get("var"), str):
             raise InvalidRequest("slice needs a params.var variable name")

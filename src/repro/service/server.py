@@ -137,6 +137,16 @@ class AnalysisService:
             from repro.store import ResultStore
 
             self.store = ResultStore(self.config.store_dir)
+        # Latest-solution slots for the function-granular incremental
+        # path (DESIGN.md §14): on disk next to the result store so a
+        # warm restart keeps them, in memory otherwise.  Shared across
+        # sessions deliberately — an ``update_source`` request plans its
+        # dirty closure against the *previous* program's solution.
+        from repro.incremental import IncrementalStore
+
+        self.incremental = IncrementalStore(
+            os.path.join(self.config.store_dir, "incremental")
+            if self.config.store_dir else None)
         self.queue = AdmissionQueue(
             depth=self.config.queue_depth, tenants=self.config.tenants,
             default_policy=self.config.default_policy,
@@ -335,6 +345,27 @@ class AnalysisService:
                     f"solve:{level}", "result-store")
                 session.results[analysis] = cached
                 return cached, True, heals
+        # Incremental warm planning: every staged solve consults the
+        # service-wide latest-solution slot and, post-solve, refreshes it
+        # — so an ``update_source`` after any solved program answers from
+        # the warm path, and analyze/alias/... share the savings.
+        warm_plan = None
+        incremental = analysis in ("sfs", "vsfs")
+        if incremental:
+            try:
+                stored = self.incremental.load(analysis, True, True)
+            except CheckpointError:
+                if self.config.strict_io:
+                    raise
+                stored = None
+                heals += 1  # stale slot quarantined; solve cold
+            if stored is not None:
+                from repro.incremental import plan_warm
+
+                pipeline = session.pipeline
+                warm_plan = plan_warm(
+                    stored, pipeline.svfg(), pipeline.modref(), analysis,
+                    True, True, pipeline.andersen())
         policy_steps = None  # per-tenant step caps ride on TenantPolicy
         budget = None
         if remaining is not None:
@@ -344,7 +375,9 @@ class AnalysisService:
         heals_before = len(getattr(trace, "heals", []) or [])
         result = solve_with_ladder(session.pipeline, analysis=analysis,
                                    budget=budget, fallback=True,
-                                   faults=self.config.faults)
+                                   faults=self.config.faults,
+                                   warm_plan=warm_plan,
+                                   capture_regions=incremental)
         heals += len(getattr(trace, "heals", []) or []) - heals_before
         report = result.report
         heals += sum(1 for a in report.attempts if a.outcome != "completed")
@@ -356,20 +389,40 @@ class AnalysisService:
                         module, analysis, True, True, result))
                 except (OSError, ReproError):
                     heals += 1  # skip-write: answer anyway
+            capture = getattr(result, "incremental_capture", None)
+            if incremental and capture is not None \
+                    and getattr(result.stats, "analysis", None) == analysis:
+                from repro.incremental import build_payload
+
+                pipeline = session.pipeline
+                try:
+                    payload = build_payload(
+                        pipeline.svfg(), pipeline.modref(), result,
+                        capture["node_in"], capture["node_out"],
+                        capture["flow"], analysis, True, True,
+                        pipeline.andersen())
+                    IO_RETRY.run(lambda: self.incremental.save(payload))
+                except (OSError, ReproError):
+                    heals += 1  # skip-write: answer anyway
         return result, False, heals
 
     def _dispatch(self, session: ProgramSession, request: Request,
                   result: Any) -> Dict[str, Any]:
         """Turn a solved result into the op's wire payload."""
         module = session.module
-        if request.op == "analyze":
+        if request.op in ("analyze", "update_source"):
             masks = list(getattr(result, "_pt", []) or [])
-            return {
+            payload = {
                 "analysis": request.analysis,
                 "variables": [var.name for var in module.variables],
                 "masks": enc_mask_list(masks),
                 "objects": [obj.name for obj in module.objects],
             }
+            if request.op == "update_source":
+                incr = getattr(result, "incremental", None)
+                payload["incremental"] = (incr.to_dict()
+                                          if incr is not None else None)
+            return payload
         if request.op == "alias":
             from repro.clients.aliases import AliasOracle
 

@@ -315,6 +315,10 @@ class StagedSolverBase:
         # reloads a snapshot and run() continues the fixpoint from it.
         self.checkpointer = checkpointer
         self._resumed = False
+        # Warm re-solve (repro.incremental): a WarmPlan installed via
+        # warm_start() replaces cold seeding — clean-region values are
+        # preloaded and only the dirty closure is recomputed.
+        self._warm_plan = None
         self._steps_done = 0  # pops completed in earlier (resumed) runs
         self._union_baseline = (0, 0)  # pre-resume repo cache hits/misses
         self.stats = SolverStats(
@@ -377,7 +381,10 @@ class StagedSolverBase:
                     self.faults.fire("pre_meld", self.analysis_name)
                 self._prepare()  # fills stats.pre_time (versioning, for VSFS)
                 start = time.perf_counter()
-                self._seed()
+                if self._warm_plan is not None:
+                    self._apply_warm(self._warm_plan)
+                else:
+                    self._seed()
             worklist = self.worklist
             nodes = self.svfg.nodes
             tick = meter.tick if meter is not None else None
@@ -466,6 +473,54 @@ class StagedSolverBase:
         for node in self.svfg.nodes:
             if isinstance(node, InstNode) and isinstance(node.inst, seed_types):
                 self.worklist.push(node.id)
+
+    # ------------------------------------------------------- warm re-solve
+
+    def warm_start(self, plan) -> None:
+        """Install a :class:`~repro.incremental.WarmPlan` before run().
+
+        Mutually exclusive with restore_state(): a warm start replays a
+        *finished* solution onto an edited program, a resume continues an
+        *unfinished* one on the same program.
+        """
+        if self._resumed:
+            from repro.errors import SolverError
+
+            raise SolverError("cannot warm-start a resumed solver")
+        self._warm_plan = plan
+
+    def _apply_warm(self, plan) -> None:
+        """Preload clean-region state and seed only the dirty closure.
+
+        Top-level preloads are direct writes — no use pushes; the plan
+        already lists the dirty consumers among its seeds, and clean
+        consumers have their outputs preloaded too.  Clean call sites
+        are pushed so on-the-fly call-graph edges (and the memory/return
+        flow they carry) are rediscovered; with every input preloaded at
+        its fixpoint value this replays without recomputation.
+        """
+        pt = self.pt
+        for vid, mask in plan.pt_preload.items():
+            if 0 <= vid < len(pt):
+                pt[vid] |= mask
+        self._preload_memory(plan)
+        push = self.worklist.push
+        for nid in plan.seed_nodes:
+            push(nid)
+        for nid in plan.call_nodes:
+            push(nid)
+
+    def _preload_memory(self, plan) -> None:
+        """Hook: install the plan's clean-region memory values."""
+
+    def export_node_memory(self):
+        """Hook: ``(node_in, node_out)`` as ``{nid: {oid: raw mask}}``.
+
+        The per-node view of the solver's memory state, used to capture
+        a finished solution for later warm re-solves.  Base solvers
+        without a memory layer export nothing.
+        """
+        return {}, {}
 
     # ----------------------------------------------------------- persistence
 

@@ -295,6 +295,44 @@ class SFSAnalysis(StagedSolverBase):
         for oid, entry in in_set.items():
             self._propagate(node.id, oid, entry_mask(entry))
 
+    # ------------------------------------------------------- warm re-solve
+
+    def _preload_memory(self, plan) -> None:
+        """Install clean-region IN/OUT maps and clean→dirty boundaries.
+
+        Plan values are raw masks; they are interned here when the repo
+        is on.  Boundary values land in the *dirty* receiver's IN map —
+        exactly what propagation over the clean→dirty indirect edge
+        would have delivered — and the planner queued those receivers,
+        so their transfer rules run over the joined view.
+        """
+        repo = self.ptrepo
+        for sets, preload in ((self.in_sets, plan.node_in),
+                              (self.out_sets, plan.node_out)):
+            for nid, table in preload.items():
+                sets[nid] = {
+                    oid: repo.intern(mask) if repo is not None else mask
+                    for oid, mask in table.items()
+                }
+        for nid, table in plan.boundary.items():
+            in_set = self._in(nid)
+            for oid, mask in table.items():
+                entry = in_set.get(oid)
+                merged = mask | (self._entry_mask(entry)
+                                 if entry is not None else 0)
+                in_set[oid] = (repo.intern(merged) if repo is not None
+                               else merged)
+
+    def export_node_memory(self):
+        entry_mask = self._entry_mask
+        return tuple(
+            {
+                nid: {oid: entry_mask(entry) for oid, entry in table.items()}
+                for nid, table in sets.items()
+            }
+            for sets in (self.in_sets, self.out_sets)
+        )
+
     # ----------------------------------------------------------- persistence
 
     def _snapshot_memory(self) -> Dict[str, object]:

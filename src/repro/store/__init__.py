@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.analysis.andersen import AndersenResult, AndersenStats
 from repro.analysis.callgraph import CallGraph
 from repro.errors import CheckpointError
+from repro.ir.fingerprint import FINGERPRINT_SCHEME
 from repro.ir.module import Module
 from repro.solvers.base import FlowSensitiveResult, SolverStats
 from repro.store.atomic import (
@@ -60,7 +61,11 @@ __all__ = [
 ]
 
 #: Bumped whenever the stored-result payload layout changes.
-STORE_SCHEMA = 1
+#: 2: ``ir_hash`` keys derive from the per-function fingerprint scheme
+#: (:data:`repro.ir.fingerprint.FINGERPRINT_SCHEME`); entries carry
+#: ``fp_scheme`` so stale pre-refactor entries quarantine instead of
+#: silently (mis)matching.
+STORE_SCHEMA = 2
 
 
 # -------------------------------------------------------------- result codecs
@@ -157,6 +162,7 @@ class ResultStore:
         path = self.entry_path(key)
         meta = {
             "ir_hash": ir_hash,
+            "fp_scheme": FINGERPRINT_SCHEME,
             "analysis": analysis,
             "delta": bool(delta),
             "ptrepo": bool(ptrepo),
@@ -186,6 +192,11 @@ class ResultStore:
             return None
         try:
             meta, payload = read_sealed_json(path, self.KIND, STORE_SCHEMA)
+            if meta.get("fp_scheme") != FINGERPRINT_SCHEME:
+                raise CheckpointError(
+                    f"entry was recorded under fingerprint scheme "
+                    f"{meta.get('fp_scheme')!r}, not {FINGERPRINT_SCHEME} — "
+                    f"stale pre-refactor entry", reason="schema", path=path)
             if meta.get("ir_hash") != ir_hash:
                 raise CheckpointError(
                     "entry was recorded for a different program "

@@ -25,19 +25,35 @@ from typing import Any, Dict, List, Tuple, Union
 
 from repro.analysis.callgraph import CallGraph
 from repro.errors import CheckpointError
+from repro.ir.fingerprint import FINGERPRINT_SCHEME, module_fingerprint
 from repro.ir.module import Module
-from repro.ir.printer import print_module
+
+__all__ = [
+    "FINGERPRINT_SCHEME",
+    "ir_fingerprint",
+    "result_key",
+    "snapshot_fields",
+    "replay_fields",
+    "snapshot_call_edges",
+    "call_sites_by_id",
+    "resolve_call_edge",
+    "replay_call_edges",
+]
 
 
 def ir_fingerprint(module: Module) -> str:
-    """Content hash of *module*: SHA-256 over its printed textual IR.
+    """Content hash of *module* under the current fingerprint scheme.
 
-    The printer emits only source-level structure (functions, instructions,
-    allocation sites), so the hash is stable across a solve — field objects
-    materialised lazily during analysis never change it — while any edit to
-    the analysed program changes it.
+    Scheme 2 (:mod:`repro.ir.fingerprint`) hashes the module as a DAG of
+    per-function content hashes rather than one flat ``print_module``
+    text.  The hash still covers only source-level structure (functions,
+    instructions, allocation sites), so it is stable across a solve —
+    field objects materialised lazily during analysis never change it —
+    while any edit to the analysed program changes it.  Keys minted under
+    scheme 1 can never collide with scheme-2 keys (the scheme tag is part
+    of the hashed text), so pre-refactor store entries simply miss.
     """
-    return hashlib.sha256(print_module(module).encode("utf-8")).hexdigest()
+    return module_fingerprint(module)
 
 
 def result_key(ir_hash: str, analysis: str, delta: bool, ptrepo: bool) -> str:

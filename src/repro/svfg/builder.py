@@ -143,6 +143,20 @@ class SVFG:
     def node(self, ident: int) -> SVFGNode:
         return self.nodes[ident]
 
+    # ------------------------------------------------------ region ownership
+
+    def nodes_by_function(self) -> Dict[str, List[int]]:
+        """Function name → the node ids it owns (the incremental spine's
+        region map).  ``_create_nodes`` creates each function's nodes
+        contiguously in program order, so every region is a dense id
+        range and a node's ordinal within its function is stable across
+        rebuilds of an unchanged function."""
+        regions: Dict[str, List[int]] = {}
+        for node in self.nodes:
+            name = node.function.name if node.function is not None else ""
+            regions.setdefault(name, []).append(node.id)
+        return regions
+
     # -------------------------------------------------- on-the-fly call graph
 
     def is_connected(self, call: CallInst, callee: Function) -> bool:

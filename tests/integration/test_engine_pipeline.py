@@ -135,13 +135,20 @@ class TestCLI:
         assert warm_stages["solve:vsfs"]["cache"] == "result-store"
 
 
-class TestDeprecatedPassesModule:
-    def test_import_warns_and_reexports(self):
+class TestRemovedPassesModule:
+    def test_deprecated_alias_is_gone(self):
+        """The repro.passes.pipeline shim finished its deprecation cycle;
+        the import must now fail so stragglers migrate to
+        repro.passes.prepare."""
         import importlib
         import sys
 
         sys.modules.pop("repro.passes.pipeline", None)
-        with pytest.warns(DeprecationWarning, match="repro.passes.prepare"):
-            module = importlib.import_module("repro.passes.pipeline")
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.passes.pipeline")
+
+    def test_prepare_module_home(self):
+        from repro.passes import prepare_module as from_package
         from repro.passes.prepare import prepare_module
-        assert module.prepare_module is prepare_module
+
+        assert from_package is prepare_module

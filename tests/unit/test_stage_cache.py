@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.engine import Engine, StageCache, StageContext
+from repro.engine import STAGE_CACHE_SCHEMA, Engine, StageCache, StageContext
 from repro.errors import CheckpointError
 
 SRC = """
@@ -161,8 +161,8 @@ class TestCorruption:
         from repro.store.atomic import read_sealed_json, write_sealed_json
 
         path = self._cold_entry(tmp_path, "svfg")
-        meta, _ = read_sealed_json(path, StageCache.KIND, 1)
-        write_sealed_json(path, StageCache.KIND, 1, meta,
+        meta, _ = read_sealed_json(path, StageCache.KIND, STAGE_CACHE_SCHEMA)
+        write_sealed_json(path, StageCache.KIND, STAGE_CACHE_SCHEMA, meta,
                           {"digest": "0" * 64})
         warm, cache = engine_with_cache(tmp_path, strict_cache=True)
         with pytest.raises(CheckpointError) as excinfo:
@@ -213,8 +213,8 @@ class TestSelfHealing:
         from repro.store.atomic import read_sealed_json, write_sealed_json
 
         path = self._cold_entry(tmp_path, "svfg")
-        meta, _ = read_sealed_json(path, StageCache.KIND, 1)
-        write_sealed_json(path, StageCache.KIND, 1, meta,
+        meta, _ = read_sealed_json(path, StageCache.KIND, STAGE_CACHE_SCHEMA)
+        write_sealed_json(path, StageCache.KIND, STAGE_CACHE_SCHEMA, meta,
                           {"digest": "0" * 64})
         warm, cache = engine_with_cache(tmp_path)
         warm.ensure("svfg")
